@@ -1,0 +1,90 @@
+"""E2 — Deletion stubs, purge intervals, and the resurrection anomaly.
+
+Claim: deletion stubs let deletes replicate; purging a stub *before* every
+replica has replicated the delete lets the stale copy flow back in
+("resurrection"). The sweep varies the purge interval against a fixed
+replication interval and counts resurrected documents.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runners import build_deployment, populate
+from repro.bench.tables import print_table
+from repro.replication import Replicator
+
+
+def run_cell(purge_interval: float, replication_interval: float) -> tuple[int, int]:
+    """Returns (resurrected docs, surviving stubs) for one configuration."""
+    deployment = build_deployment(2, seed=int(purge_interval) + 1)
+    a, b = deployment.databases
+    populate(a, 60, deployment.rng, advance=0.0)
+    deployment.clock.advance(1)
+    rep = Replicator()
+    rep.replicate(a, b)
+    # Delete a third of the documents on a.
+    victims = a.unids()[:20]
+    for unid in victims:
+        deployment.clock.advance(0.1)
+        a.delete(unid)
+    clock = deployment.clock
+    # Whichever of {next purge, next replication} comes first, runs first.
+    if purge_interval < replication_interval:
+        clock.advance(purge_interval)
+        a.purge_stubs(older_than=clock.now)  # fired before the delete spread
+        clock.advance(replication_interval - purge_interval)
+        rep.replicate(a, b)
+    else:
+        clock.advance(replication_interval)
+        rep.replicate(a, b)  # the delete reaches b first
+        clock.advance(purge_interval - replication_interval + 1)
+        a.purge_stubs(older_than=clock.now)
+        b.purge_stubs(older_than=clock.now)
+        clock.advance(1)
+        rep.replicate(a, b)
+    resurrected = sum(1 for unid in victims if unid in a)
+    return resurrected, len(a.stubs)
+
+
+def test_e02_table(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        replication_interval = 100.0
+        for purge_interval in (10.0, 50.0, 200.0, 1000.0):
+            resurrected, stubs = run_cell(purge_interval, replication_interval)
+            rows.append(
+                [purge_interval, replication_interval, resurrected, stubs]
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E2  purge interval vs replication interval (20 docs deleted)",
+        ["purge ivl (s)", "repl ivl (s)", "resurrected", "stubs kept"],
+        rows,
+        note="purge < replication interval resurrects deleted documents",
+    )
+    early = [r for r in rows if r[0] < r[1]]
+    patient = [r for r in rows if r[0] >= r[1]]
+    assert all(r[2] > 0 for r in early), "early purge must resurrect"
+    assert all(r[2] == 0 for r in patient), "patient purge must be safe"
+
+
+def test_e02_stub_overhead(benchmark):
+    """Timed: cost of carrying stubs through a replication pass."""
+    deployment = build_deployment(2, seed=77)
+    a, b = deployment.databases
+    populate(a, 200, deployment.rng, advance=0.0)
+    deployment.clock.advance(1)
+    rep = Replicator()
+    rep.replicate(a, b)
+    for unid in a.unids()[:100]:
+        a.delete(unid)
+    deployment.clock.advance(1)
+
+    def pass_with_stubs():
+        deployment.clock.advance(1)
+        return rep.replicate(a, b)
+
+    benchmark(pass_with_stubs)

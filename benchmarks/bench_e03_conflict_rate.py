@@ -1,0 +1,98 @@
+"""E3 — Conflict rate vs. update locality; what each policy loses.
+
+Claim: conflicts arise when two replicas edit the *same* documents between
+replications, so the smaller the working set both sides concentrate on, the
+more documents diverge. The conflict-document policy preserves every losing
+revision; the LWW ablation silently discards them; field-merge resolves the
+disjoint-field share without any conflict documents.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runners import build_deployment, populate
+from repro.bench.tables import print_table
+from repro.replication import ConflictPolicy, Replicator
+
+
+def run_cell(working_set: int, policy: ConflictPolicy, edits_per_side: int = 30):
+    deployment = build_deployment(2, seed=working_set + 1)
+    a, b = deployment.databases
+    rng = deployment.rng
+    populate(a, 400, rng, advance=0.0)
+    deployment.clock.advance(1)
+    rep = Replicator(conflict_policy=policy)
+    rep.replicate(a, b)
+    hot = a.unids()[:working_set]
+    for _ in range(edits_per_side):
+        deployment.clock.advance(0.5)
+        a.update(rng.choice(hot), {"Body": f"a{rng.random()}"}, author="alice")
+        b.update(rng.choice(hot), {"Note": f"b{rng.random()}"}, author="bob")
+    deployment.clock.advance(1)
+    stats = rep.replicate(a, b)
+    conflict_docs = sum(1 for d in a.all_documents() if d.is_conflict)
+    return stats, conflict_docs
+
+
+def test_e03_table(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for working_set in (400, 100, 25):
+            for policy in (ConflictPolicy.CONFLICT_DOC, ConflictPolicy.MERGE,
+                           ConflictPolicy.LWW):
+                stats, conflict_docs = run_cell(working_set, policy)
+                rows.append([
+                    working_set, policy.value, stats.conflicts, stats.merges,
+                    conflict_docs, stats.lost_updates,
+                ])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E3  conflicts vs update locality (400 docs, 30 edits/side)",
+        ["working set", "policy", "divergences", "merged", "conflict docs",
+         "lost updates"],
+        rows,
+        note="smaller working set -> hot spots -> conflicts; "
+             "LWW loses what CONFLICT_DOC keeps",
+    )
+
+    def cell(working_set, policy):
+        return next(
+            r for r in rows if r[0] == working_set and r[1] == policy.value
+        )
+
+    # Tighter locality, more divergent documents.
+    assert cell(25, ConflictPolicy.CONFLICT_DOC)[2] > cell(
+        400, ConflictPolicy.CONFLICT_DOC)[2]
+    # LWW never creates conflict documents but loses updates.
+    assert cell(25, ConflictPolicy.LWW)[4] == 0
+    assert cell(25, ConflictPolicy.LWW)[5] > 0
+    # Disjoint-field edits (a touches Body, b touches Note): merge absorbs
+    # the divergences without conflict documents.
+    merge_row = cell(25, ConflictPolicy.MERGE)
+    assert merge_row[3] > 0
+    assert merge_row[4] < cell(25, ConflictPolicy.CONFLICT_DOC)[4]
+
+
+def test_e03_conflict_resolution_speed(benchmark):
+    """Timed: resolving one divergence into a conflict document."""
+    from repro.replication.conflicts import resolve
+
+    deployment = build_deployment(2, seed=3)
+    a, b = deployment.databases
+    doc = a.create({"S": "base"})
+    deployment.clock.advance(1)
+    Replicator().replicate(a, b)
+
+    def one_conflict():
+        deployment.clock.advance(1)
+        a.update(doc.unid, {"S": f"a{deployment.clock.now}"})
+        deployment.clock.advance(1)
+        b.update(doc.unid, {"S": f"b{deployment.clock.now}"})
+        return resolve(a, a.get(doc.unid), b.get(doc.unid).copy(),
+                       ConflictPolicy.CONFLICT_DOC)
+
+    outcome = benchmark(one_conflict)
+    assert outcome.conflict_doc_unid is not None

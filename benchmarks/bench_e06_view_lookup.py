@@ -1,0 +1,115 @@
+"""E6 — View navigation is an index operation, not a scan.
+
+Claim: opening a view at a key (GetDocumentByKey) is a B+tree descent —
+node touches grow logarithmically with the database while a selection-scan
+baseline grows linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.runners import build_deployment, populate
+from repro.bench.tables import print_table
+from repro.formula import compile_formula
+from repro.views import SortOrder, View, ViewColumn
+
+
+def build_view(n_docs: int):
+    deployment = build_deployment(1, seed=n_docs + 3)
+    db = deployment.databases[0]
+    populate(db, n_docs, deployment.rng, advance=0.0)
+    view = View(
+        db,
+        "ByAmount",
+        selection='SELECT Form = "Memo"',
+        columns=[
+            ViewColumn(title="Amount", item="Amount", sort=SortOrder.ASCENDING),
+            ViewColumn(title="Subject", item="Subject"),
+        ],
+    )
+    return db, view
+
+
+def scan_baseline(db, amount: int):
+    """What life is like without a view index: formula-scan everything."""
+    formula = compile_formula(f"SELECT Form = \"Memo\" & Amount = {amount}")
+    return [doc for doc in db.all_documents() if formula.select(doc)]
+
+
+def run_cell(n_docs: int):
+    db, view = build_view(n_docs)
+    target = view._tree  # structural counters live on the B+tree
+    probe_amounts = [db.get(unid).get("Amount") for unid in db.unids()[:20]]
+
+    target.node_reads = 0
+    start = time.perf_counter()
+    for amount in probe_amounts:
+        matches = view.documents_by_key(amount)
+        assert matches
+    lookup_seconds = (time.perf_counter() - start) / len(probe_amounts)
+    node_touches = target.node_reads / len(probe_amounts)
+
+    start = time.perf_counter()
+    for amount in probe_amounts[:5]:
+        assert scan_baseline(db, amount)
+    scan_seconds = (time.perf_counter() - start) / 5
+    return node_touches, lookup_seconds, scan_seconds, view._tree.height()
+
+
+def test_e06_table(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for n_docs in (250, 1000, 4000):
+            node_touches, lookup_s, scan_s, height = run_cell(n_docs)
+            rows.append([
+                n_docs, height, round(node_touches, 1),
+                round(lookup_s * 1e6, 1), round(scan_s * 1e6, 1),
+                round(scan_s / max(lookup_s, 1e-12), 1),
+            ])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E6  view key lookup vs formula scan",
+        ["docs", "tree height", "nodes/lookup", "lookup µs", "scan µs",
+         "scan/lookup"],
+        rows,
+        note="lookup cost ~ tree height (log n); scan cost ~ n",
+    )
+    touches = [r[2] for r in rows]
+    scans = [r[4] for r in rows]
+    # node touches grow sub-linearly (log-ish): 16x docs < 4x touches
+    assert touches[-1] < touches[0] * 4
+    # the scan baseline grows roughly linearly: 16x docs > 4x time
+    assert scans[-1] > scans[0] * 4
+    assert all(r[5] > 5 for r in rows), "index must beat the scan"
+
+
+def test_e06_lookup_speed(benchmark):
+    db, view = build_view(2000)
+    amounts = [db.get(unid).get("Amount") for unid in db.unids()[:50]]
+    counter = {"i": 0}
+
+    def one_lookup():
+        counter["i"] += 1
+        return view.documents_by_key(amounts[counter["i"] % 50])
+
+    result = benchmark(one_lookup)
+    assert result
+
+
+def test_e06_navigation_speed(benchmark):
+    from repro.views import ViewNavigator
+
+    db, view = build_view(2000)
+
+    def walk_a_page():
+        navigator = ViewNavigator(view)
+        navigator.first()
+        return navigator.page(50)
+
+    rows = benchmark(walk_a_page)
+    assert len(rows) == 50

@@ -1,0 +1,98 @@
+"""E8 — Full-text indexing: incremental update vs rebuild; query latency.
+
+Claims: adding one document to the inverted index costs ~the document's
+token count, while the rebuild path re-tokenizes the corpus; query latency
+is driven by posting-list sizes, not corpus scans.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.runners import build_deployment, populate
+from repro.bench.tables import print_table
+from repro.fulltext import FullTextIndex
+
+
+def build_corpus(n_docs: int):
+    deployment = build_deployment(1, seed=n_docs + 8)
+    db = deployment.databases[0]
+    populate(db, n_docs, deployment.rng, body_bytes=600, advance=0.0)
+    return deployment, db
+
+
+def run_cell(n_docs: int):
+    deployment, db = build_corpus(n_docs)
+    index = FullTextIndex(db)
+
+    start = time.perf_counter()
+    db.create({"Subject": "fresh", "Body": "brand new budget forecast " * 20})
+    incremental_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    index.rebuild()
+    rebuild_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(20):
+        hits = index.search("budget AND forecast")
+    query_seconds = (time.perf_counter() - start) / 20
+    assert hits
+    return incremental_seconds, rebuild_seconds, query_seconds
+
+
+def test_e08_table(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for n_docs in (200, 800, 3200):
+            incremental, rebuild, query = run_cell(n_docs)
+            rows.append([
+                n_docs,
+                round(incremental * 1000, 3),
+                round(rebuild * 1000, 1),
+                round(query * 1000, 3),
+                round(rebuild / max(incremental, 1e-9)),
+            ])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E8  full-text index maintenance and query latency",
+        ["docs", "add-one ms", "rebuild ms", "query ms", "rebuild/add"],
+        rows,
+        note="incremental cost is flat; rebuild cost grows with the corpus",
+    )
+    adds = [r[1] for r in rows]
+    rebuilds = [r[2] for r in rows]
+    assert rebuilds[-1] > rebuilds[0] * 8  # 16x corpus -> ~linear rebuild
+    assert adds[-1] < adds[0] * 4  # add-one stays roughly flat
+    assert all(r[4] > 50 for r in rows)
+
+
+def test_e08_query_speed(benchmark):
+    _, db = build_corpus(1000)
+    index = FullTextIndex(db)
+    queries = ["budget", "budget AND review", '"budget forecast"',
+               "subject:release", "proposal OR inventory NOT sales"]
+    counter = {"i": 0}
+
+    def one_query():
+        counter["i"] += 1
+        return index.search(queries[counter["i"] % len(queries)])
+
+    benchmark(one_query)
+
+
+def test_e08_incremental_add_speed(benchmark):
+    _, db = build_corpus(1000)
+    FullTextIndex(db)
+    counter = {"i": 0}
+
+    def add_doc():
+        counter["i"] += 1
+        db.create({"Subject": f"memo {counter['i']}",
+                   "Body": "status update with budget numbers " * 10})
+
+    benchmark(add_doc)

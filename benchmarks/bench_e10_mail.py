@@ -1,0 +1,113 @@
+"""E10 — Mail routing: delivery hops/latency vs topology; group expansion.
+
+Claims: delivery latency is proportional to route hops, so topology design
+(connecting hubs) controls it; group expansion fans one submitted memo out
+to many deliveries with per-recipient routing.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import print_table
+from repro.mail import Directory, MailRouter, make_memo
+from repro.replication import SimulatedNetwork
+from repro.sim import VirtualClock
+
+
+def build_mail_world(n_servers: int, shape: str):
+    clock = VirtualClock()
+    network = SimulatedNetwork(clock)
+    names = [f"srv{i}" for i in range(n_servers)]
+    for name in names:
+        network.add_server(name)
+        network.set_link(name, names[0], latency=0.05)
+    directory = Directory(clock=clock)
+    router = MailRouter(network, directory)
+    if shape == "chain":
+        for left, right in zip(names, names[1:]):
+            router.add_route(left, right)
+    else:  # hub
+        for spoke in names[1:]:
+            router.add_route(names[0], spoke)
+    # two users per server
+    users = []
+    for index, name in enumerate(names):
+        for sub in range(2):
+            user = f"user{index}_{sub}/Acme"
+            directory.register_person(user, name)
+            users.append(user)
+    directory.register_group("everyone", users)
+    return clock, network, directory, router, names, users
+
+
+def run_cell(n_servers: int, shape: str):
+    clock, network, directory, router, names, users = build_mail_world(
+        n_servers, shape
+    )
+    # spoke-to-spoke mail: from a user on srv1 to a user on the last server
+    sender = users[2]  # first user of srv1
+    router.submit(make_memo(sender, users[-1], "end to end"), names[1])
+    stats = router.deliver_all()
+    far_hops = stats.hop_counts[-1]
+    # group blast from the same spoke
+    router.submit(make_memo(sender, "everyone", "to all"), names[1])
+    stats = router.deliver_all()
+    return far_hops, stats.delivered, stats.transfers
+
+
+def test_e10_table(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for shape in ("hub", "chain"):
+            for n_servers in (4, 8):
+                far_hops, delivered, transfers = run_cell(n_servers, shape)
+                rows.append(
+                    [shape, n_servers, far_hops, delivered, transfers]
+                )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E10  mail routing: hops and group fan-out",
+        ["topology", "servers", "hops to farthest", "delivered",
+         "server transfers"],
+        rows,
+        note="hub keeps worst-case hops at 2; chain hops grow with length",
+    )
+
+    def cell(shape, n):
+        return next(r for r in rows if r[0] == shape and r[1] == n)
+
+    assert cell("hub", 8)[2] == 2  # spoke -> hub -> spoke
+    assert cell("chain", 8)[2] == 6  # srv1 .. srv7
+    assert cell("chain", 8)[2] > cell("chain", 4)[2]
+    # the direct memo plus the group blast to every user (2 per server)
+    assert cell("hub", 8)[3] == 1 + 16
+    # the chain moves far more inter-server traffic for the same mail
+    assert cell("chain", 8)[4] > cell("hub", 8)[4]
+
+
+def test_e10_routing_speed(benchmark):
+    clock, network, directory, router, names, users = build_mail_world(4, "hub")
+    counter = {"i": 0}
+
+    def send_one():
+        counter["i"] += 1
+        router.submit(
+            make_memo(users[0], users[counter["i"] % len(users)],
+                      f"msg {counter['i']}"),
+            names[0],
+        )
+        router.deliver_all()
+
+    benchmark(send_one)
+
+
+def test_e10_group_expansion_speed(benchmark):
+    clock, network, directory, router, names, users = build_mail_world(4, "hub")
+    # nested group tower
+    directory.register_group("inner", users[:4])
+    directory.register_group("middle", ["inner"] + users[4:6])
+    directory.register_group("outer", ["middle", "inner"])
+    result = benchmark(lambda: directory.expand_recipients(["outer"]))

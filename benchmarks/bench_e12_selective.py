@@ -1,0 +1,96 @@
+"""E12 — Selective replication and truncation shrink mobile replicas.
+
+Claims: a selection formula on the replica cuts transferred volume roughly
+in proportion to (1 - selectivity); rich-text truncation bounds per-document
+cost for "summary" replicas — together these are what made laptop replicas
+practical over dial-up.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runners import build_deployment
+from repro.bench.tables import print_table
+from repro.core import ItemType
+from repro.replication import Replicator, SelectiveReplication
+
+
+def build_source(n_docs: int = 300):
+    deployment = build_deployment(2, seed=12)
+    a, b = deployment.databases
+    rng = deployment.rng
+    for index in range(n_docs):
+        deployment.clock.advance(0.1)
+        doc = a.create({
+            "Form": "Memo",
+            "Project": f"proj{index % 10}",
+            "Subject": f"doc {index}",
+        })
+        a.get(doc.unid).set("Body", "long rich text " * 400, ItemType.RICH_TEXT)
+    deployment.clock.advance(1)
+    return deployment, a, b
+
+
+def run_cell(n_projects_wanted: int, truncate: bool):
+    deployment, a, b = build_source()
+    projects = ":".join(f'"proj{i}"' for i in range(n_projects_wanted))
+    formula = f"SELECT Project = {projects}" if n_projects_wanted else "SELECT @All"
+    selective = SelectiveReplication(
+        formula, truncate_over=2_000 if truncate else None
+    )
+    stats = Replicator().pull(b, a, selective=selective)
+    return stats.bytes_transferred, stats.docs_transferred, len(b)
+
+
+def test_e12_table(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        baseline_bytes = None
+        for n_projects in (0, 5, 1):  # 0 => everything
+            for truncate in (False, True):
+                nbytes, docs, replica_size = run_cell(n_projects, truncate)
+                selectivity = "100%" if n_projects == 0 else f"{n_projects}0%"
+                if baseline_bytes is None:
+                    baseline_bytes = nbytes
+                rows.append([
+                    selectivity, "yes" if truncate else "no", docs,
+                    replica_size, nbytes,
+                    round(100 * nbytes / baseline_bytes, 1),
+                ])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E12  selective replication volume (300 docs, 10 projects)",
+        ["selectivity", "truncated", "docs sent", "replica docs", "bytes",
+         "% of full"],
+        rows,
+        note="volume tracks formula selectivity; truncation caps doc size",
+    )
+
+    def cell(selectivity, truncated):
+        return next(
+            r for r in rows if r[0] == selectivity and r[1] == truncated
+        )
+
+    assert cell("50%", "no")[4] < cell("100%", "no")[4] * 0.6
+    assert cell("10%", "no")[4] < cell("100%", "no")[4] * 0.2
+    assert cell("100%", "yes")[4] < cell("100%", "no")[4] * 0.5
+    # replica really is partial
+    assert cell("10%", "no")[3] == 30
+
+
+def test_e12_selective_pass_speed(benchmark):
+    deployment, a, b = build_source()
+    selective = SelectiveReplication('SELECT Project = "proj3"')
+    rep = Replicator()
+    rep.pull(b, a, selective=selective)
+
+    def incremental_pass():
+        deployment.clock.advance(1)
+        a.update(a.unids()[3], {"Subject": "tick"})
+        deployment.clock.advance(1)
+        return rep.pull(b, a, selective=selective)
+
+    benchmark(incremental_pass)

@@ -1,0 +1,16 @@
+"""Benchmark harness configuration.
+
+Each ``bench_eNN_*.py`` file regenerates one experiment from EXPERIMENTS.md:
+it sweeps the experiment's parameter, prints the result table (the shape the
+paper narrates), and asserts the qualitative claim so a regression in the
+*shape* fails the bench run. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    # Keep experiment tables in E1..E12 order regardless of fs ordering.
+    items.sort(key=lambda item: item.fspath.basename)

@@ -1,0 +1,150 @@
+"""A replicated discussion forum across three regional servers.
+
+The archetypal Notes application: main topics with threaded responses,
+categorized views, a moderation agent, full-text search, and hub-and-spoke
+replication that converges the three regional replicas — conflict documents
+included.
+
+Run with::
+
+    python examples/discussion_forum.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    Agent,
+    AgentRunner,
+    AgentTrigger,
+    FullTextIndex,
+    NotesDatabase,
+    ReplicationScheduler,
+    ReplicationTopology,
+    SimulatedNetwork,
+    SortOrder,
+    View,
+    ViewColumn,
+    VirtualClock,
+    converged,
+)
+from repro.views import CategoryRow
+
+
+def build_network():
+    clock = VirtualClock()
+    network = SimulatedNetwork(clock)
+    hub = network.add_server("hub")
+    for name in ("emea", "apac"):
+        network.add_server(name)
+    forum = NotesDatabase("Watercooler", clock=clock, rng=random.Random(1),
+                          server="hub")
+    hub.add_database(forum)
+    emea = forum.new_replica("emea")
+    network.server("emea").add_database(emea)
+    apac = forum.new_replica("apac")
+    network.server("apac").add_database(apac)
+    return clock, network, forum, emea, apac
+
+
+def main() -> None:
+    clock, network, forum, emea, apac = build_network()
+
+    # Moderation agent on the hub: stamp every new topic.
+    runner = AgentRunner(forum)
+    runner.add(Agent(
+        name="moderator",
+        trigger=AgentTrigger.ON_CREATE,
+        selection='SELECT Form = "MainTopic"',
+        formula='FIELD Status := "visible"; '
+                'FIELD Flagged := @If(@Contains(Subject; "buy now"); 1; 0)',
+    ))
+
+    # Users in each region post locally.
+    topic = emea.create(
+        {"Form": "MainTopic", "Subject": "Best coffee near the office?",
+         "Categories": "random", "Body": "Asking for a friend."},
+        author="bob/EMEA/Acme",
+    )
+    clock.advance(30)
+    apac.create(
+        {"Form": "MainTopic", "Subject": "Deployment window for v4",
+         "Categories": "work", "Body": "Proposing Saturday 02:00 UTC."},
+        author="chen/APAC/Acme",
+    )
+    clock.advance(30)
+    spam = emea.create(
+        {"Form": "MainTopic", "Subject": "buy now: miracle pager batteries",
+         "Categories": "random", "Body": "limited time!!"},
+        author="spammer/Nowhere",
+    )
+
+    # Hub-and-spoke replication, every 15 simulated minutes.
+    topology = ReplicationTopology.hub_spoke("hub", ["emea", "apac"],
+                                             interval=900)
+    scheduler = ReplicationScheduler(network, topology)
+    rounds = scheduler.rounds_to_convergence([forum, emea, apac])
+    print(f"replicas converged in {rounds} rounds "
+          f"({network.stats.bytes_sent:,} bytes on the wire)")
+
+    # Responses arrive in different regions; thread structure replicates.
+    clock.advance(60)
+    reply = apac.create(
+        {"Form": "Response", "Subject": "re: coffee",
+         "Body": "The cart on level 3 is underrated."},
+        author="chen/APAC/Acme", parent=topic.unid,
+    )
+    clock.advance(60)
+    scheduler.rounds_to_convergence([forum, emea, apac])  # reply reaches emea
+    clock.advance(60)
+    emea.create(
+        {"Form": "Response", "Subject": "re: re: coffee",
+         "Body": "Strong disagree, it's burnt."},
+        author="dana/EMEA/Acme", parent=reply.unid,
+    )
+
+    # Concurrent edit of the same topic in two regions -> conflict document.
+    clock.advance(60)
+    emea.update(topic.unid, {"Body": "EDIT: found a great place!"},
+                author="bob/EMEA/Acme")
+    clock.advance(1)
+    apac.update(topic.unid, {"Body": "EDIT: please post addresses."},
+                author="chen/APAC/Acme")
+    clock.advance(60)
+    rounds = scheduler.rounds_to_convergence([forum, emea, apac])
+    assert converged([forum, emea, apac])
+
+    # The hub's threaded view (agent stamped the hub copies on arrival).
+    threads = View(
+        forum, "Threads",
+        selection='SELECT Form = "MainTopic" | @AllDescendants',
+        columns=[
+            ViewColumn(title="Categories", item="Categories", categorized=True),
+            ViewColumn(title="Subject", item="Subject",
+                       sort=SortOrder.ASCENDING),
+        ],
+        hierarchical=True,
+    )
+    print("\n== Threads (hub) ==")
+    for row in threads.rows():
+        if isinstance(row, CategoryRow):
+            print(f"▼ {row.value} ({row.count})")
+        else:
+            doc = forum.get(row.unid)
+            marker = " [CONFLICT]" if doc.is_conflict else ""
+            print("  " * row.level + f"- {row.values[1]}{marker}")
+
+    conflicts = [d for d in forum.all_documents() if d.is_conflict]
+    print(f"\nconflict documents preserved: {len(conflicts)}")
+    flagged = [d for d in forum.all_documents() if d.get("Flagged") == 1]
+    print(f"agent flagged as spam: {[d.get('Subject') for d in flagged]}")
+
+    index = FullTextIndex(forum)
+    print("\n== search: coffee ==")
+    for hit in index.search("coffee"):
+        print(f"  {forum.get(hit.unid).get('Subject')!r} score={hit.score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""An expense-approval workflow: mail + agents + security + views.
+
+Employees mail expense reports; a triage agent routes them by amount; the
+approver works a categorized view; reader fields keep each employee's
+reports invisible to other employees; signing makes approvals
+tamper-evident. This is the "structured workflow on groupware" pattern of
+[ReMo96], built entirely from the document database primitives.
+
+Run with::
+
+    python examples/expense_workflow.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Agent,
+    AgentRunner,
+    AgentTrigger,
+    Directory,
+    IdVault,
+    MailRouter,
+    SimulatedNetwork,
+    SortOrder,
+    View,
+    ViewColumn,
+    VirtualClock,
+    make_memo,
+)
+from repro.core import ItemType
+from repro.security import sign_document, verify_document
+from repro.views import CategoryRow
+
+
+def main() -> None:
+    clock = VirtualClock()
+    network = SimulatedNetwork(clock)
+    network.add_server("hq")
+    directory = Directory(clock=clock)
+    directory.register_person("finance/Acme", "hq")
+    for employee in ("gil/Acme", "hana/Acme", "ivan/Acme"):
+        directory.register_person(employee, "hq")
+    router = MailRouter(network, directory)
+    inbox = router.mail_file("finance/Acme")
+
+    # Triage agent: classify on arrival, hide each report from other staff.
+    runner = AgentRunner(inbox)
+
+    def triage(doc, db):
+        if doc.get("Form") != "Memo" or "expense" not in doc.get("Subject", ""):
+            return None
+        amount = doc.get("Amount", 0)
+        bucket = ("auto-approve" if amount <= 100
+                  else "manager" if amount <= 1000
+                  else "vp")
+        doc.set("Readers", ["finance/Acme", doc.get("From")], ItemType.READERS)
+        return {"Queue": bucket, "Status": "pending"}
+
+    runner.add(Agent(name="triage", trigger=AgentTrigger.ON_CREATE,
+                     action=triage))
+
+    # Employees submit reports by mail.
+    submissions = [
+        ("gil/Acme", "expense: client lunch", 84),
+        ("hana/Acme", "expense: conference travel", 640),
+        ("ivan/Acme", "expense: new plotter", 4_800),
+        ("gil/Acme", "expense: taxi", 35),
+    ]
+    for sender, subject, amount in submissions:
+        clock.advance(60)
+        router.submit(
+            make_memo(sender, "finance/Acme", subject,
+                      body=f"please reimburse {amount}",
+                      extra_items={"Amount": amount}),
+            "hq",
+        )
+    router.deliver_all()
+
+    queue_view = View(
+        inbox, "Approval Queues",
+        selection='SELECT Status = "pending"',
+        columns=[
+            ViewColumn(title="Queue", item="Queue", categorized=True),
+            ViewColumn(title="Subject", item="Subject",
+                       sort=SortOrder.ASCENDING),
+            ViewColumn(title="Amount", item="Amount", totals=True),
+        ],
+    )
+    print("== Finance approval queues ==")
+    for row in queue_view.rows():
+        if isinstance(row, CategoryRow):
+            print(f"[{row.value}]  ({row.count} items, "
+                  f"total {row.subtotals[2]:,})")
+        else:
+            print(f"    {row.values[1]:<28} {row.values[2]:>7,}")
+
+    # Reader fields: gil sees only his own reports.
+    mine = [doc.get("Subject")
+            for doc in inbox.all_documents() if doc.readers is None
+            or "gil/Acme" in doc.readers]
+    print(f"\nreports gil can read: "
+          f"{sorted(s for s in mine if s.startswith('expense'))}")
+
+    # Approve with a signature; any later tampering is detectable.
+    vault = IdVault()
+    vault.register("finance/Acme")
+    approved = queue_view.documents_by_key("auto-approve")
+    for doc in approved:
+        inbox.update(doc.unid, {"Status": "approved"}, author="finance/Acme")
+        fresh = inbox.get(doc.unid)
+        sign_document(fresh, "finance/Acme", vault)
+        print(f"approved + signed: {fresh.get('Subject')!r} "
+              f"(verifies: {verify_document(fresh, vault)})")
+    victim = inbox.get(approved[0].unid)
+    victim.set("Amount", 9_999)
+    print(f"after tampering with the amount, signature verifies: "
+          f"{verify_document(victim, vault)}")
+
+
+if __name__ == "__main__":
+    main()

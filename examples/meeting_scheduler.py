@@ -1,0 +1,88 @@
+"""Calendar & scheduling: free-time search across replicated calendars.
+
+Three people keep appointment documents in a shared calendar database; the
+busy-time index follows changes (including appointments arriving by
+replication from a second site), and the scheduler books the earliest slot
+everyone can make.
+
+Run with::
+
+    python examples/meeting_scheduler.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    BusyTimeIndex,
+    NotesDatabase,
+    Replicator,
+    VirtualClock,
+    book_meeting,
+    find_free_slots,
+)
+from repro.calendar import make_appointment
+
+HOUR = 3600.0
+
+
+def hhmm(seconds: float) -> str:
+    return f"{int(seconds // HOUR):02d}:{int(seconds % HOUR // 60):02d}"
+
+
+def main() -> None:
+    clock = VirtualClock()
+    hq_cal = NotesDatabase("Team Calendar", clock=clock,
+                           rng=random.Random(3), server="hq")
+    index = BusyTimeIndex([hq_cal])
+
+    # The working day: 09:00–17:00 (virtual seconds of day zero).
+    day_start, day_end = 9 * HOUR, 17 * HOUR
+
+    hq_cal.create(make_appointment("alice/Acme", "1:1 with manager",
+                                   9 * HOUR, 10 * HOUR), author="alice/Acme")
+    hq_cal.create(make_appointment("alice/Acme", "design review",
+                                   13 * HOUR, 15 * HOUR,
+                                   attendees=["bob/Acme"]), author="alice/Acme")
+    hq_cal.create(make_appointment("bob/Acme", "support rotation",
+                                   9 * HOUR, 12 * HOUR), author="bob/Acme")
+
+    # Chen's appointments live on another server and replicate in.
+    satellite = hq_cal.new_replica("satellite")
+    satellite.create(make_appointment("chen/Acme", "customer call",
+                                      10 * HOUR, 11.5 * HOUR),
+                     author="chen/Acme")
+    clock.advance(60)
+    Replicator().replicate(hq_cal, satellite)
+
+    people = ["alice/Acme", "bob/Acme", "chen/Acme"]
+    print("busy times:")
+    for person in people:
+        spans = ", ".join(
+            f"{hhmm(i.start)}–{hhmm(i.end)}"
+            for i in index.busy_intervals(person)
+        )
+        print(f"  {person:<12} {spans or '(free)'}")
+
+    slots = find_free_slots(index, people, day_start, day_end,
+                            duration=HOUR, limit=3)
+    print("\ncommon 60-minute slots:",
+          ", ".join(f"{hhmm(s.start)}–{hhmm(s.end)}" for s in slots))
+
+    meeting = book_meeting(hq_cal, index, "alice/Acme", "Q3 planning",
+                           ["bob/Acme", "chen/Acme"],
+                           day_start, day_end, duration=HOUR)
+    print(f"\nbooked 'Q3 planning' at "
+          f"{hhmm(meeting.get('StartTime'))}–{hhmm(meeting.get('EndTime'))}")
+
+    follow_up = book_meeting(hq_cal, index, "alice/Acme", "Q3 planning pt 2",
+                             ["bob/Acme", "chen/Acme"],
+                             day_start, day_end, duration=HOUR)
+    print(f"booked the follow-up at "
+          f"{hhmm(follow_up.get('StartTime'))}–{hhmm(follow_up.get('EndTime'))}"
+          " (stacked after the first)")
+
+
+if __name__ == "__main__":
+    main()

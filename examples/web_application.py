@@ -1,0 +1,122 @@
+"""A Notes application served to the web, Domino-style.
+
+Builds a project-tracking application whose *design lives in the database*
+(view and agent stored as design notes), replicates it to a second server,
+and serves both replicas over the Domino URL syntax — including search,
+editing through the browser, and ACL enforcement. The design change made at
+headquarters reaches the web server by replication and the rendered site
+updates by itself.
+
+Run with::
+
+    python examples/web_application.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    AccessControlList,
+    AclLevel,
+    Agent,
+    AgentTrigger,
+    Application,
+    DominoWebServer,
+    NotesDatabase,
+    Replicator,
+    SortOrder,
+    ViewColumn,
+    VirtualClock,
+)
+
+
+def main() -> None:
+    clock = VirtualClock()
+    hq = NotesDatabase("Projects", clock=clock, rng=random.Random(5),
+                       server="hq")
+
+    # Design the application — stored as notes inside the database.
+    app_hq = Application(hq, designer="dev/Acme")
+    app_hq.save_view(
+        "ByStatus",
+        'SELECT Form = "Project"',
+        [
+            ViewColumn(title="Status", item="Status", categorized=True),
+            ViewColumn(title="Name", item="Name", sort=SortOrder.ASCENDING),
+            ViewColumn(title="Owner", item="Owner"),
+        ],
+    )
+    app_hq.save_agent(Agent(
+        name="intake", trigger=AgentTrigger.ON_CREATE,
+        selection='SELECT Form = "Project"',
+        formula='DEFAULT Status := "proposed"; '
+                'FIELD Slug := @LowerCase(@ReplaceSubstring(Name; " "; "-"))',
+    ))
+
+    for name, owner in [("Apollo Rewrite", "alice/Acme"),
+                        ("Billing Cleanup", "bob/Acme"),
+                        ("Cache Layer", "alice/Acme")]:
+        clock.advance(60)
+        hq.create({"Form": "Project", "Name": name, "Owner": owner},
+                  author=owner)
+    hq.update(hq.unids()[0], {"Status": "active"}, author="alice/Acme")
+
+    # Replicate the whole application (data + design) to the web server.
+    webserver_db = hq.new_replica("web01")
+    clock.advance(60)
+    Replicator().replicate(hq, webserver_db)
+    app_web = Application(webserver_db)
+    print(f"web replica opened: views={app_web.view_names} "
+          f"agents={app_web.agent_names}")
+
+    acl = AccessControlList(default_level=AclLevel.READER)
+    acl.add("webmaster/Acme", AclLevel.EDITOR)
+    webserver_db.acl = acl
+
+    site = DominoWebServer(default_user="Anonymous")
+    site.register("projects.nsf", app_web)
+
+    print("\nGET /projects.nsf")
+    print(site.handle("/projects.nsf").body)
+
+    print("\nGET /projects.nsf/ByStatus?OpenView&Count=10")
+    print(site.handle("/projects.nsf/ByStatus?OpenView&Count=10").body)
+
+    unid = app_web.view("ByStatus").all_unids()[0]
+    print(f"\nGET /projects.nsf/ByStatus/{unid[:8]}…?OpenDocument")
+    print(site.handle(f"/projects.nsf/ByStatus/{unid}?OpenDocument").body)
+
+    print("\nGET …?SearchView&Query=cache")
+    print(site.handle("/projects.nsf/ByStatus?SearchView&Query=cache").body)
+
+    # Browser edit — denied for Anonymous (Reader), allowed for webmaster.
+    denied = site.handle(
+        f"/projects.nsf/ByStatus/{unid}?EditDocument&Status=done")
+    allowed = site.handle(
+        f"/projects.nsf/ByStatus/{unid}?EditDocument&Status=done",
+        user="webmaster/Acme")
+    print(f"\nanonymous edit -> {denied.status}; "
+          f"webmaster edit -> {allowed.status}; "
+          f"status now {webserver_db.get(unid).get('Status')!r}")
+
+    # A design change at HQ reaches the web by replication.
+    clock.advance(60)
+    app_hq.save_view(
+        "ByStatus",
+        'SELECT Form = "Project"',
+        [
+            ViewColumn(title="Status", item="Status", categorized=True),
+            ViewColumn(title="Name", item="Name", sort=SortOrder.DESCENDING),
+            ViewColumn(title="Slug", item="Slug"),
+        ],
+    )
+    clock.advance(60)
+    Replicator().replicate(hq, webserver_db)
+    body = site.handle("/projects.nsf/ByStatus?OpenView").body
+    print("\nafter replicated design change, the web view shows Slug column:",
+          "Slug" in body)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""repro — a Notes/Domino-style groupware document database, in Python.
+
+A from-scratch reproduction of the system described in C. Mohan's SIGMOD
+1999 industrial paper *"A Database Perspective on Lotus Domino/Notes"*:
+a semi-structured document store with multi-master replication (sequence
+numbers, deletion stubs, conflict documents), incrementally-maintained
+sorted/categorized views, an @-formula language, full-text search, the
+seven-level ACL security model, document-based mail routing, Domino-style
+clustering, agents, and a WAL-logged storage engine underneath.
+
+Quickstart::
+
+    from repro import NotesDatabase, Replicator, View, ViewColumn
+
+    db = NotesDatabase("Team Discussion")
+    doc = db.create({"Form": "MainTopic", "Subject": "Hello, world"})
+
+    replica = db.new_replica("laptop")
+    Replicator().replicate(db, replica)      # multi-master sync
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the experiment
+suite this library regenerates.
+"""
+
+from repro.agents import Agent, AgentRunner, AgentTrigger
+from repro.calendar import BusyTimeIndex, book_meeting, find_free_slots
+from repro.cluster import Cluster, ClusterReplicator
+from repro.core import (
+    ChangeKind,
+    DeletionStub,
+    Document,
+    Item,
+    ItemType,
+    NotesDatabase,
+    OriginatorId,
+)
+from repro.design import Application
+from repro.formula import Formula, compile_formula
+from repro.fulltext import FullTextIndex
+from repro.mail import Directory, MailRouter, make_memo
+from repro.replication import (
+    ConflictPolicy,
+    ReplicationScheduler,
+    ReplicationStats,
+    ReplicationTopology,
+    Replicator,
+    SelectiveReplication,
+    SimulatedNetwork,
+    converged,
+)
+from repro.security import AccessControlList, AclLevel, IdVault
+from repro.sim import EventScheduler, VirtualClock
+from repro.storage import BPlusTree, StorageEngine
+from repro.views import (
+    Folder,
+    SortOrder,
+    UnreadTracker,
+    View,
+    ViewColumn,
+    ViewNavigator,
+)
+from repro.web import DominoWebServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessControlList",
+    "AclLevel",
+    "Agent",
+    "AgentRunner",
+    "AgentTrigger",
+    "Application",
+    "BPlusTree",
+    "BusyTimeIndex",
+    "ChangeKind",
+    "Cluster",
+    "ClusterReplicator",
+    "ConflictPolicy",
+    "DeletionStub",
+    "Directory",
+    "Document",
+    "DominoWebServer",
+    "EventScheduler",
+    "Folder",
+    "Formula",
+    "FullTextIndex",
+    "IdVault",
+    "Item",
+    "ItemType",
+    "MailRouter",
+    "NotesDatabase",
+    "OriginatorId",
+    "ReplicationScheduler",
+    "ReplicationStats",
+    "ReplicationTopology",
+    "Replicator",
+    "SelectiveReplication",
+    "SimulatedNetwork",
+    "SortOrder",
+    "StorageEngine",
+    "UnreadTracker",
+    "View",
+    "ViewColumn",
+    "ViewNavigator",
+    "VirtualClock",
+    "book_meeting",
+    "compile_formula",
+    "converged",
+    "find_free_slots",
+    "make_memo",
+    "__version__",
+]

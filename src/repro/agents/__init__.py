@@ -1,0 +1,12 @@
+"""Agents: stored programs that run against documents.
+
+The workflow building block the paper's groupware applications rely on: an
+agent pairs a *trigger* (a schedule, a document event, or manual), a
+*selection* formula choosing target documents, and an *action* — either a
+formula whose FIELD assignments are written back, or a Python callable.
+"""
+
+from repro.agents.agent import Agent, AgentTrigger
+from repro.agents.runner import AgentRunner
+
+__all__ = ["Agent", "AgentRunner", "AgentTrigger"]

@@ -1,0 +1,95 @@
+"""Agent definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.errors import AgentError
+from repro.core.document import Document
+from repro.formula import Formula, compile_formula
+
+# A Python action receives (doc, db) and returns item updates (or None).
+PythonAction = Callable[[Document, Any], dict | None]
+
+
+class AgentTrigger(str, Enum):
+    MANUAL = "manual"
+    SCHEDULED = "scheduled"
+    ON_CREATE = "on_create"
+    ON_UPDATE = "on_update"  # fires for creates *and* updates
+
+
+@dataclass
+class Agent:
+    """A stored program over documents.
+
+    Parameters
+    ----------
+    name:
+        Agent name (shows up in ``$UpdatedBy`` trails as ``name/agent``).
+    trigger:
+        When the agent runs.
+    selection:
+        Formula choosing target documents (default: all).
+    formula:
+        Action formula; its FIELD assignments are written back to each
+        selected document. Mutually exclusive with ``action``.
+    action:
+        Python callable ``(doc, db) -> dict | None``; the returned items
+        are applied as an update. Mutually exclusive with ``formula``.
+    interval:
+        Seconds between runs (scheduled agents only).
+    scan:
+        ``"changed"`` (default) visits only documents changed since the
+        agent's last run; ``"all"`` visits every document — needed when
+        eligibility depends on time passing rather than on edits.
+    """
+
+    name: str
+    trigger: AgentTrigger = AgentTrigger.MANUAL
+    selection: str = "SELECT @All"
+    formula: str | None = None
+    action: PythonAction | None = None
+    interval: float = 3600.0
+    scan: str = "changed"
+    runs: int = 0
+    docs_processed: int = 0
+    _selection_compiled: Formula = field(init=False, repr=False)
+    _formula_compiled: Formula | None = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if (self.formula is None) == (self.action is None):
+            raise AgentError(
+                f"agent {self.name!r} needs exactly one of formula= or action="
+            )
+        if self.trigger == AgentTrigger.SCHEDULED and self.interval <= 0:
+            raise AgentError(f"agent {self.name!r} needs a positive interval")
+        if self.scan not in ("changed", "all"):
+            raise AgentError(f"agent scan must be 'changed' or 'all', got {self.scan!r}")
+        self._selection_compiled = compile_formula(self.selection)
+        if self.formula is not None:
+            self._formula_compiled = compile_formula(self.formula)
+
+    @property
+    def author_name(self) -> str:
+        return f"{self.name}/agent"
+
+    def selects(self, doc: Document, db=None) -> bool:
+        return self._selection_compiled.select(doc, db=db)
+
+    def compute_updates(self, doc: Document, db=None) -> dict | None:
+        """Run the action against ``doc``; returns item updates or None."""
+        if self.action is not None:
+            return self.action(doc, db)
+        from repro.formula import EvalContext
+
+        ctx = EvalContext(doc=doc, db=db, user=self.author_name)
+        self._formula_compiled.run(ctx)
+        if not ctx.field_writes:
+            return None
+        return {
+            name: (value[0] if len(value) == 1 else value)
+            for name, value in ctx.field_writes.items()
+        }

@@ -1,0 +1,136 @@
+"""Agent execution: triggers, scheduling, re-entrancy control.
+
+The runner wires agents to a database. Event-triggered agents fire from
+database change notifications; scheduled agents attach to the discrete-event
+loop; manual agents run on demand over the documents changed since their
+last run (the classic "newly received or modified documents" semantics).
+
+An agent's own writes are performed under its author name and are prevented
+from re-triggering agents (including itself) — the guard Notes needed too.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AgentError
+from repro.core.database import ChangeKind, NotesDatabase
+from repro.core.document import Document
+from repro.agents.agent import Agent, AgentTrigger
+from repro.sim.events import EventScheduler
+
+
+class AgentRunner:
+    """Hosts the agents of one database."""
+
+    def __init__(self, db: NotesDatabase) -> None:
+        self.db = db
+        self.agents: list[Agent] = []
+        self._last_run: dict[str, float] = {}
+        self._in_agent = False
+        db.subscribe(self._on_change)
+
+    def close(self) -> None:
+        self.db.unsubscribe(self._on_change)
+
+    # -- registration -----------------------------------------------------
+
+    def add(self, agent: Agent, events: EventScheduler | None = None) -> Agent:
+        """Register ``agent``; scheduled agents also need the event loop."""
+        if any(existing.name == agent.name for existing in self.agents):
+            raise AgentError(f"duplicate agent name {agent.name!r}")
+        self.agents.append(agent)
+        self._last_run[agent.name] = self.db.clock.now
+        if agent.trigger == AgentTrigger.SCHEDULED:
+            if events is None:
+                raise AgentError(
+                    f"scheduled agent {agent.name!r} needs an EventScheduler"
+                )
+            events.every(
+                agent.interval,
+                lambda: self._run_if_registered(agent),
+                label=f"agent {agent.name}",
+            )
+        return agent
+
+    def _run_if_registered(self, agent: Agent) -> None:
+        if agent in self.agents:
+            self.run_agent(agent)
+
+    def remove(self, name: str) -> None:
+        """Unregister an agent; any pending schedule stops running it."""
+        agent = self.agent(name)
+        self.agents.remove(agent)
+        self._last_run.pop(name, None)
+
+    def agent(self, name: str) -> Agent:
+        for candidate in self.agents:
+            if candidate.name == name:
+                return candidate
+        raise AgentError(f"no agent named {name!r}")
+
+    # -- execution ----------------------------------------------------------
+
+    def run_agent(self, agent: Agent, full_scan: bool = False) -> int:
+        """Run ``agent`` over changed (or all, with ``full_scan``) documents.
+
+        Returns the number of documents the action touched.
+        """
+        if agent.scan == "all":
+            full_scan = True
+        since = 0.0 if full_scan else self._last_run.get(agent.name, 0.0)
+        docs, _ = self.db.changed_since(since)
+        touched = self._apply(agent, docs)
+        self._last_run[agent.name] = self.db.clock.now
+        agent.runs += 1
+        return touched
+
+    def run_all_manual(self) -> int:
+        """Run every MANUAL agent once; returns total documents touched."""
+        return sum(
+            self.run_agent(agent)
+            for agent in self.agents
+            if agent.trigger == AgentTrigger.MANUAL
+        )
+
+    def _apply(self, agent: Agent, docs: list[Document]) -> int:
+        touched = 0
+        self._in_agent = True
+        try:
+            for doc in list(docs):
+                if doc.unid not in self.db:
+                    continue
+                if not agent.selects(doc, db=self.db):
+                    continue
+                updates = agent.compute_updates(doc, db=self.db)
+                if updates:
+                    self.db.update(doc.unid, updates, author=agent.author_name)
+                    touched += 1
+                    agent.docs_processed += 1
+        finally:
+            self._in_agent = False
+        return touched
+
+    # -- event triggers ----------------------------------------------------
+
+    def _on_change(self, kind: ChangeKind, payload, old: Document | None) -> None:
+        if self._in_agent:
+            return  # agent writes must not cascade into more agent runs
+        if kind == ChangeKind.CREATE:
+            wanted = (AgentTrigger.ON_CREATE, AgentTrigger.ON_UPDATE)
+        elif kind == ChangeKind.REPLACE and old is None:
+            # A document arriving by replication for the first time is
+            # "new" from this replica's point of view.
+            wanted = (AgentTrigger.ON_CREATE, AgentTrigger.ON_UPDATE)
+        elif kind in (ChangeKind.UPDATE, ChangeKind.REPLACE):
+            wanted = (AgentTrigger.ON_UPDATE,)
+        else:
+            return
+        doc: Document = payload
+        for agent in self.agents:
+            if agent.trigger not in wanted:
+                continue
+            # Skip events produced by this very agent's writes (belt and
+            # braces next to the _in_agent guard).
+            if doc.updated_by and doc.updated_by[-1] == agent.author_name:
+                continue
+            self._apply(agent, [doc])
+            agent.runs += 1

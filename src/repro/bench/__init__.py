@@ -1,0 +1,6 @@
+"""Benchmark harness utilities: deployments, table printing."""
+
+from repro.bench.runners import build_deployment, populate
+from repro.bench.tables import print_table
+
+__all__ = ["build_deployment", "populate", "print_table"]

@@ -1,0 +1,81 @@
+"""Deployment builders shared by benchmarks and integration tests."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.database import NotesDatabase
+from repro.replication.network import SimulatedNetwork
+from repro.sim.clock import VirtualClock
+
+
+@dataclass
+class Deployment:
+    """A network of servers all carrying replicas of one database."""
+
+    clock: VirtualClock
+    network: SimulatedNetwork
+    databases: list[NotesDatabase]
+    rng: random.Random
+
+    @property
+    def origin(self) -> NotesDatabase:
+        return self.databases[0]
+
+
+def build_deployment(
+    n_servers: int,
+    seed: int = 1234,
+    title: str = "bench.nsf",
+    server_prefix: str = "srv",
+) -> Deployment:
+    """A fresh clock + network + one replica per server."""
+    clock = VirtualClock()
+    network = SimulatedNetwork(clock)
+    rng = random.Random(seed)
+    databases: list[NotesDatabase] = []
+    origin: NotesDatabase | None = None
+    for index in range(n_servers):
+        name = f"{server_prefix}{index}"
+        server = network.add_server(name)
+        if origin is None:
+            origin = NotesDatabase(
+                title, clock=clock, rng=random.Random(rng.getrandbits(64)),
+                server=name,
+            )
+            server.add_database(origin)
+            databases.append(origin)
+        else:
+            replica = origin.new_replica(name)
+            server.add_database(replica)
+            databases.append(replica)
+    return Deployment(clock=clock, network=network, databases=databases, rng=rng)
+
+
+def populate(
+    db: NotesDatabase,
+    n_docs: int,
+    rng: random.Random,
+    body_bytes: int = 400,
+    advance: float = 0.25,
+) -> list[str]:
+    """Create ``n_docs`` memo-like documents; returns their UNIDs."""
+    unids = []
+    words = ("budget", "meeting", "release", "replica", "schedule", "review",
+             "forecast", "inventory", "proposal", "summary")
+    for index in range(n_docs):
+        db.clock.advance(advance)
+        body = " ".join(rng.choice(words) for _ in range(max(body_bytes // 8, 1)))
+        doc = db.create(
+            {
+                "Form": "Memo",
+                "Subject": f"{rng.choice(words)} {index}",
+                "Body": body,
+                "Categories": rng.choice(["eng", "sales", "ops", "hr"]),
+                "Amount": rng.randrange(0, 10_000),
+            },
+            author=f"user{rng.randrange(16)}/Acme",
+        )
+        unids.append(doc.unid)
+    return unids

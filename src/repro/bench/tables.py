@@ -1,0 +1,51 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark prints its result series in the same tabular shape the
+paper would have used, so EXPERIMENTS.md can quote the output directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int) and abs(value) >= 1000:
+        return f"{value:,}"
+    return str(value)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    note: str | None = None,
+) -> str:
+    """Render and print an aligned table; returns the rendered text."""
+    formatted = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in formatted), 1)
+        if formatted
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [f"\n== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.append(f"   note: {note}")
+    text = "\n".join(lines)
+    print(text)
+    return text

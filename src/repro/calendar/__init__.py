@@ -1,0 +1,19 @@
+"""Calendar & scheduling: appointments, busy time, free-time search.
+
+The other half of groupware: appointments are ordinary documents
+(``Form="Appointment"`` with start/end items and attendee name lists), a
+busy-time index is maintained incrementally from database events, and
+free-time search intersects the gaps of every attendee — the C&S feature
+set Notes 4.5 layered on the same document substrate.
+"""
+
+from repro.calendar.busytime import BusyTimeIndex, Interval
+from repro.calendar.scheduling import book_meeting, find_free_slots, make_appointment
+
+__all__ = [
+    "BusyTimeIndex",
+    "Interval",
+    "book_meeting",
+    "find_free_slots",
+    "make_appointment",
+]

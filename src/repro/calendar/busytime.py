@@ -1,0 +1,138 @@
+"""The busy-time index: who is busy when.
+
+Subscribes to one or more databases and tracks, per attendee, the time
+intervals covered by appointment documents. Intervals are kept per document
+so reschedules and cancellations maintain incrementally; queries merge on
+the fly (appointment counts per person are small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.core.database import ChangeKind, NotesDatabase
+from repro.core.document import Document
+
+APPOINTMENT_FORM = "Appointment"
+
+
+class CalendarError(ReproError):
+    """Invalid appointment data or scheduling request."""
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open busy interval [start, end)."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise CalendarError(f"empty interval {self.start}..{self.end}")
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+def merge_intervals(intervals: list[Interval]) -> list[Interval]:
+    """Sorted, coalesced busy intervals."""
+    merged: list[Interval] = []
+    for interval in sorted(intervals):
+        if merged and interval.start <= merged[-1].end:
+            last = merged[-1]
+            if interval.end > last.end:
+                merged[-1] = Interval(last.start, interval.end)
+        else:
+            merged.append(interval)
+    return merged
+
+
+def _attendee_names(doc: Document) -> list[str]:
+    names = list(doc.get_list("Chair")) + list(doc.get_list("Attendees"))
+    return [name for name in names if name]
+
+
+class BusyTimeIndex:
+    """Per-person busy intervals over one or more databases."""
+
+    def __init__(self, databases: list[NotesDatabase] | None = None) -> None:
+        # person -> unid -> Interval
+        self._busy: dict[str, dict[str, Interval]] = {}
+        self._databases: list[NotesDatabase] = []
+        for db in databases or []:
+            self.attach(db)
+
+    def attach(self, db: NotesDatabase) -> None:
+        """Index ``db``'s appointments and follow its changes."""
+        self._databases.append(db)
+        db.subscribe(self._on_change)
+        for doc in db.all_documents():
+            self._add(doc)
+
+    def detach_all(self) -> None:
+        for db in self._databases:
+            db.unsubscribe(self._on_change)
+        self._databases.clear()
+
+    # -- maintenance --------------------------------------------------------
+
+    def _on_change(self, kind: ChangeKind, payload, old: Document | None) -> None:
+        if kind == ChangeKind.DELETE:
+            self._drop(payload.unid)
+            return
+        doc: Document = payload
+        self._drop(doc.unid)
+        if kind in (ChangeKind.CREATE, ChangeKind.UPDATE, ChangeKind.REPLACE,
+                    ChangeKind.RESTORE):
+            self._add(doc)
+
+    def _add(self, doc: Document) -> None:
+        if doc.get("Form") != APPOINTMENT_FORM:
+            return
+        start = doc.get("StartTime")
+        end = doc.get("EndTime")
+        if not isinstance(start, (int, float)) or not isinstance(end, (int, float)):
+            return
+        if end <= start:
+            return
+        interval = Interval(float(start), float(end))
+        for person in _attendee_names(doc):
+            self._busy.setdefault(person, {})[doc.unid] = interval
+
+    def _drop(self, unid: str) -> None:
+        for table in self._busy.values():
+            table.pop(unid, None)
+
+    # -- queries ------------------------------------------------------------
+
+    def busy_intervals(self, person: str) -> list[Interval]:
+        """Coalesced busy intervals for ``person``, ascending."""
+        return merge_intervals(list(self._busy.get(person, {}).values()))
+
+    def is_free(self, person: str, start: float, end: float) -> bool:
+        candidate = Interval(start, end)
+        return not any(
+            candidate.overlaps(busy) for busy in self.busy_intervals(person)
+        )
+
+    def free_intervals(
+        self, person: str, window_start: float, window_end: float
+    ) -> list[Interval]:
+        """Gaps within the window where ``person`` is free."""
+        if window_end <= window_start:
+            raise CalendarError("empty search window")
+        free: list[Interval] = []
+        cursor = window_start
+        for busy in self.busy_intervals(person):
+            if busy.end <= window_start or busy.start >= window_end:
+                continue
+            if busy.start > cursor:
+                free.append(Interval(cursor, min(busy.start, window_end)))
+            cursor = max(cursor, busy.end)
+            if cursor >= window_end:
+                break
+        if cursor < window_end:
+            free.append(Interval(cursor, window_end))
+        return free

@@ -1,0 +1,117 @@
+"""Free-time search and meeting booking."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.database import NotesDatabase
+from repro.core.document import Document
+from repro.core.items import ItemType
+from repro.calendar.busytime import (
+    APPOINTMENT_FORM,
+    BusyTimeIndex,
+    CalendarError,
+    Interval,
+)
+
+
+def make_appointment(
+    chair: str,
+    subject: str,
+    start: float,
+    end: float,
+    attendees: list[str] | None = None,
+    location: str = "",
+) -> dict[str, Any]:
+    """Item dict for an appointment document."""
+    if end <= start:
+        raise CalendarError(f"appointment ends before it starts ({start}..{end})")
+    return {
+        "Form": APPOINTMENT_FORM,
+        "Subject": subject,
+        "Chair": [chair],
+        "Attendees": list(attendees or []),
+        "StartTime": float(start),
+        "EndTime": float(end),
+        "Location": location,
+    }
+
+
+def find_free_slots(
+    index: BusyTimeIndex,
+    people: list[str],
+    window_start: float,
+    window_end: float,
+    duration: float,
+    limit: int = 5,
+) -> list[Interval]:
+    """Earliest slots of ``duration`` where *all* ``people`` are free.
+
+    Returns at most ``limit`` non-overlapping candidate intervals, earliest
+    first — the free-time lookup the Notes meeting scheduler performed
+    against everyone's busy-time. Slots are aligned to busy-interval edges
+    (the classic sweep), not to wall-clock grid points.
+    """
+    if duration <= 0:
+        raise CalendarError(f"non-positive duration {duration}")
+    if not people:
+        raise CalendarError("free-time search needs at least one person")
+    # Intersect everyone's free intervals pairwise.
+    common = [Interval(window_start, window_end)]
+    for person in people:
+        person_free = index.free_intervals(person, window_start, window_end)
+        next_common: list[Interval] = []
+        for a in common:
+            for b in person_free:
+                start = max(a.start, b.start)
+                end = min(a.end, b.end)
+                if end - start >= duration:
+                    next_common.append(Interval(start, end))
+        common = next_common
+        if not common:
+            return []
+    # Cut the shared gaps into consecutive duration-sized slots.
+    slots: list[Interval] = []
+    for gap in sorted(common):
+        cursor = gap.start
+        while cursor + duration <= gap.end and len(slots) < limit:
+            slots.append(Interval(cursor, cursor + duration))
+            cursor += duration
+        if len(slots) >= limit:
+            break
+    return slots
+
+
+def book_meeting(
+    db: NotesDatabase,
+    index: BusyTimeIndex,
+    chair: str,
+    subject: str,
+    attendees: list[str],
+    window_start: float,
+    window_end: float,
+    duration: float,
+) -> Document:
+    """Find the earliest slot everyone can make and book it.
+
+    The created appointment immediately occupies everyone's busy time (the
+    index follows database events), so consecutive bookings stack instead
+    of colliding. Raises :class:`CalendarError` when no slot exists.
+    """
+    everyone = [chair] + [name for name in attendees if name != chair]
+    slots = find_free_slots(
+        index, everyone, window_start, window_end, duration, limit=1
+    )
+    if not slots:
+        raise CalendarError(
+            f"no common {duration}s slot for {len(everyone)} people in window"
+        )
+    slot = slots[0]
+    items = make_appointment(
+        chair, subject, slot.start, slot.end, attendees=attendees
+    )
+    doc = db.create(items, author=chair)
+    # Name items carry NAMES semantics for reader/author style processing.
+    doc.set("Chair", [chair], ItemType.NAMES)
+    doc.set("Attendees", list(attendees), ItemType.NAMES)
+    return doc

@@ -1,0 +1,14 @@
+"""Domino clustering: high availability through tightly-coupled replicas.
+
+A cluster is a small set of servers that each hold replicas of the same
+databases. Unlike scheduled replication, the **cluster replicator** is
+event-driven: every change is pushed to the other members immediately, so
+replicas stay near-real-time. When a member goes down, clients **fail
+over** to the member with the best availability index; changes the dead
+member missed are queued and applied when it returns.
+"""
+
+from repro.cluster.manager import Cluster, OpenResult
+from repro.cluster.replicator import ClusterReplicator
+
+__all__ = ["Cluster", "ClusterReplicator", "OpenResult"]

@@ -1,0 +1,181 @@
+"""The event-driven cluster replicator.
+
+Subscribes to every member replica; each local change is pushed at once to
+the other members (with the same originator-id comparison the scheduled
+replicator uses, so echoes and races resolve identically). Pushes to an
+unreachable member queue in a backlog that drains when the member returns —
+``catch_up`` is the cluster-join/restart path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.database import ChangeKind, DeletionStub, NotesDatabase
+from repro.core.document import Document
+from repro.replication.conflicts import ConflictPolicy, detect, resolve
+from repro.replication.network import SimulatedNetwork
+
+_STUB_WIRE_SIZE = 96
+
+
+@dataclass
+class ClusterReplicationStats:
+    pushes: int = 0
+    queued: int = 0
+    drained: int = 0
+    conflicts: int = 0
+    bytes_pushed: int = 0
+    push_latency: list[float] = field(default_factory=list)
+
+
+class ClusterReplicator:
+    """Keeps a family of cluster replicas synchronized in near-real-time."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        conflict_policy: ConflictPolicy = ConflictPolicy.CONFLICT_DOC,
+    ) -> None:
+        self.network = network
+        self.conflict_policy = conflict_policy
+        self.stats = ClusterReplicationStats()
+        self._members: list[NotesDatabase] = []
+        # (source server, target server) -> pending unids/stubs
+        self._backlog: dict[tuple[str, str], list] = {}
+        self._pushing = False
+
+    # -- membership -----------------------------------------------------
+
+    def attach(self, db: NotesDatabase) -> None:
+        """Add a replica to the cluster-replication family."""
+        if self._members and db.replica_id != self._members[0].replica_id:
+            from repro.errors import ClusterError
+
+            raise ClusterError("cluster replicas must share a replica id")
+        self._members.append(db)
+        db.subscribe(self._make_handler(db))
+
+    def _make_handler(self, origin: NotesDatabase):
+        def handler(kind: ChangeKind, payload, old: Document | None) -> None:
+            if self._pushing:
+                return  # change caused by a cluster push: do not echo
+            if kind in (ChangeKind.CREATE, ChangeKind.UPDATE, ChangeKind.REPLACE,
+                        ChangeKind.RESTORE):
+                self._push_all(origin, payload, None)
+            elif kind == ChangeKind.DELETE:
+                self._push_all(origin, None, payload)
+
+        return handler
+
+    # -- pushing ----------------------------------------------------------
+
+    def _push_all(
+        self,
+        origin: NotesDatabase,
+        doc: Document | None,
+        stub: DeletionStub | None,
+    ) -> None:
+        for member in self._members:
+            if member is origin:
+                continue
+            if not self.network.is_reachable(origin.server, member.server):
+                self._backlog.setdefault(
+                    (origin.server, member.server), []
+                ).append((doc.unid if doc else None, stub))
+                self.stats.queued += 1
+                continue
+            self._push_one(origin, member, doc, stub)
+
+    def _push_one(
+        self,
+        origin: NotesDatabase,
+        target: NotesDatabase,
+        doc: Document | None,
+        stub: DeletionStub | None,
+    ) -> None:
+        self._pushing = True
+        try:
+            if stub is not None:
+                local = target.try_get(stub.unid)
+                if local is None or (stub.seq, tuple(stub.seq_time)) > (
+                    local.seq,
+                    tuple(local.seq_time),
+                ):
+                    latency = self.network.transfer(
+                        origin.server, target.server, _STUB_WIRE_SIZE
+                    )
+                    target.raw_delete(stub)
+                    self._account(latency, _STUB_WIRE_SIZE)
+                return
+            assert doc is not None
+            local = target.try_get(doc.unid)
+            if local is None:
+                latency = self.network.transfer(
+                    origin.server, target.server, doc.size()
+                )
+                target.raw_put(doc.copy())
+                self._account(latency, doc.size())
+                return
+            relation = detect(local, doc)
+            if relation in ("same", "local_newer"):
+                return
+            latency = self.network.transfer(origin.server, target.server, doc.size())
+            if relation == "incoming_newer":
+                target.raw_put(doc.copy())
+            else:
+                resolve(target, local, doc.copy(), self.conflict_policy)
+                self.stats.conflicts += 1
+            self._account(latency, doc.size())
+        finally:
+            self._pushing = False
+
+    def _account(self, latency: float, nbytes: int) -> None:
+        self.stats.pushes += 1
+        self.stats.bytes_pushed += nbytes
+        self.stats.push_latency.append(latency)
+
+    # -- catch-up after failure ------------------------------------------
+
+    def catch_up(self) -> int:
+        """Drain every backlog whose link is reachable again.
+
+        Returns the number of queued changes applied. Queued entries carry
+        only identities; the *current* revision is pushed (later edits
+        subsume earlier queued ones naturally).
+        """
+        drained = 0
+        for (src_name, dst_name), entries in list(self._backlog.items()):
+            if not self.network.is_reachable(src_name, dst_name):
+                continue
+            source = self._member_on(src_name)
+            target = self._member_on(dst_name)
+            if source is None or target is None:
+                continue
+            for unid, stub in entries:
+                if stub is not None:
+                    current_stub = source.stubs.get(stub.unid, stub)
+                    self._push_one(source, target, None, current_stub)
+                else:
+                    doc = source.try_get(unid)
+                    if doc is None:
+                        # deleted since queueing: push the stub if present
+                        late_stub = source.stubs.get(unid)
+                        if late_stub is not None:
+                            self._push_one(source, target, None, late_stub)
+                    else:
+                        self._push_one(source, target, doc, None)
+                drained += 1
+            del self._backlog[(src_name, dst_name)]
+        self.stats.drained += drained
+        return drained
+
+    def _member_on(self, server: str) -> NotesDatabase | None:
+        for member in self._members:
+            if member.server == server:
+                return member
+        return None
+
+    @property
+    def backlog_size(self) -> int:
+        return sum(len(entries) for entries in self._backlog.values())

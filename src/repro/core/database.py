@@ -1,0 +1,590 @@
+"""The NotesDatabase: a replicable container of documents.
+
+Responsibilities:
+
+* CRUD with Notes envelope maintenance (sequence numbers, revision history,
+  author trail) — the inputs the replicator needs to converge replicas.
+* Deletion stubs: deletes leave a tombstone carrying the deletion's version
+  stamp so the delete itself replicates; stubs are purged after a
+  configurable interval (experiment E2 shows why purging too early is
+  dangerous).
+* Soft deletion (the R5 "trash folder" behaviour): documents can be moved
+  to trash and restored before a hard delete.
+* Change events: views, full-text indexes and cluster replicators subscribe
+  to create/update/delete notifications for incremental maintenance.
+* Optional durability through :class:`repro.storage.StorageEngine`.
+* Optional access control through an attached ACL (``repro.security``).
+
+The database never interprets item values — that is what views, formulas
+and agents are for.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Iterator
+
+from repro.errors import AccessDenied, DatabaseError, DocumentNotFound
+from repro.core.document import Document
+from repro.core.unid import new_replica_id, new_unid
+from repro.sim.clock import VirtualClock
+
+
+class ChangeKind(str, Enum):
+    """What happened to a note, as reported to observers."""
+
+    CREATE = "create"
+    UPDATE = "update"
+    DELETE = "delete"
+    REPLACE = "replace"  # replicator overwrote with a remote revision
+    RESTORE = "restore"  # brought back from the trash
+
+
+@dataclass(frozen=True)
+class DeletionStub:
+    """Tombstone left behind by a delete so the delete replicates."""
+
+    unid: str
+    seq: int
+    seq_time: tuple[float, int]
+    deleted_at: float
+    deleted_by: str
+
+    def to_dict(self) -> dict:
+        return {
+            "unid": self.unid,
+            "seq": self.seq,
+            "seq_time": list(self.seq_time),
+            "deleted_at": self.deleted_at,
+            "deleted_by": self.deleted_by,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeletionStub":
+        return cls(
+            unid=payload["unid"],
+            seq=payload["seq"],
+            seq_time=tuple(payload["seq_time"]),
+            deleted_at=payload["deleted_at"],
+            deleted_by=payload["deleted_by"],
+        )
+
+
+Observer = Callable[[ChangeKind, Any, Document | None], None]
+
+_DOC_PREFIX = b"doc:"
+_STUB_PREFIX = b"stub:"
+
+
+class NotesDatabase:
+    """One replica of a Notes-style document database.
+
+    Parameters
+    ----------
+    title:
+        Human-readable database title (e.g. ``"Team Discussion"``).
+    clock:
+        Shared :class:`VirtualClock`; a private one is created if omitted.
+    rng:
+        Seeded random source for UNID generation; derived from the title if
+        omitted (so tests are reproducible by default).
+    replica_id:
+        Identity of the replica *family*. Databases replicate only with
+        others carrying the same replica id. A fresh id is generated when
+        omitted; ``db.new_replica(...)`` copies it.
+    server:
+        Name of the server/host holding this replica (used in replication
+        history and mail routing).
+    engine:
+        Optional :class:`repro.storage.StorageEngine` for durability. When
+        given, existing content is loaded and every mutation is persisted.
+    acl:
+        Optional :class:`repro.security.AccessControlList`. When set, every
+        operation that names a user is checked.
+    """
+
+    def __init__(
+        self,
+        title: str,
+        clock: VirtualClock | None = None,
+        rng: random.Random | None = None,
+        replica_id: str | None = None,
+        server: str = "local",
+        engine=None,
+        acl=None,
+    ) -> None:
+        self.title = title
+        self.clock = clock or VirtualClock()
+        self.rng = rng or random.Random(hash(title) & 0xFFFFFFFF)
+        self.replica_id = replica_id or new_replica_id(self.rng)
+        self.server = server
+        self.engine = engine
+        self.acl = acl
+        self._docs: dict[str, Document] = {}
+        self._stubs: dict[str, DeletionStub] = {}
+        # "Modified in this file" times: when a note/stub last changed in
+        # THIS replica (user edit or replicator install). The incremental
+        # replication scan uses these, not the document's own modified time
+        # — a note can arrive here long after it was edited elsewhere.
+        self._local_modified: dict[str, float] = {}
+        self._stub_local: dict[str, float] = {}
+        self._trash: set[str] = set()
+        self._by_note_id: dict[int, str] = {}
+        self._next_note_id = 1
+        self._observers: list[Observer] = []
+        # replication history: (other replica server, direction) -> virtual time
+        self.replication_history: dict[tuple[str, str], float] = {}
+        if engine is not None:
+            self._load_from_engine()
+
+    # -- observers -----------------------------------------------------------
+
+    def subscribe(self, observer: Observer) -> None:
+        """Register for change events (views, FT index, cluster replicator)."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Observer) -> None:
+        self._observers.remove(observer)
+
+    def _notify(self, kind: ChangeKind, payload: Any, old: Document | None) -> None:
+        for observer in self._observers:
+            observer(kind, payload, old)
+
+    # -- CRUD ------------------------------------------------------------
+
+    def create(
+        self,
+        items: dict[str, Any],
+        author: str = "anonymous",
+        parent: str | None = None,
+    ) -> Document:
+        """Create a document from plain name -> value items."""
+        self._check_create(author)
+        if parent is not None and parent not in self._docs:
+            raise DocumentNotFound(f"parent {parent} does not exist")
+        now, tick = self.clock.timestamp()
+        doc = Document(
+            unid=new_unid(self.rng),
+            seq=1,
+            seq_time=(now, tick),
+            created=now,
+            modified=now,
+            parent_unid=parent,
+            updated_by=[author],
+            note_id=self._next_note_id,
+        )
+        self._next_note_id += 1
+        doc.set_all(items)
+        doc.item_times = {name: (now, tick) for name in items}
+        self._docs[doc.unid] = doc
+        self._local_modified[doc.unid] = now
+        self._by_note_id[doc.note_id] = doc.unid
+        self._persist_doc(doc)
+        self._notify(ChangeKind.CREATE, doc, None)
+        return doc
+
+    def update(
+        self,
+        unid: str,
+        items: dict[str, Any],
+        author: str = "anonymous",
+        remove_items: list[str] | None = None,
+    ) -> Document:
+        """Merge ``items`` into the document and advance its revision."""
+        doc = self._require_doc(unid)
+        self._check_update(author, doc)
+        old = doc.copy()
+        doc.set_all(items)
+        for name in remove_items or []:
+            if name in doc:
+                doc.remove_item(name)
+        stamp = self.clock.timestamp()
+        doc.bump_revision(stamp, author)
+        for name in items:
+            doc.item_times[name] = stamp
+        for name in remove_items or []:
+            doc.item_times[name] = stamp
+        self._local_modified[unid] = stamp[0]
+        self._persist_doc(doc)
+        self._notify(ChangeKind.UPDATE, doc, old)
+        return doc
+
+    def attach_file(
+        self,
+        unid: str,
+        filename: str,
+        data: bytes,
+        author: str = "anonymous",
+    ) -> Document:
+        """Attach ``data`` to the document as a proper revision.
+
+        Unlike mutating the document object directly, this bumps the
+        sequence number and stamps the attachment item, so replication
+        (including field-level) sees the change.
+        """
+        from repro.core.attachments import ATTACHMENT_PREFIX, attach
+
+        doc = self._require_doc(unid)
+        self._check_update(author, doc)
+        old = doc.copy()
+        attach(doc, filename, data)
+        stamp = self.clock.timestamp()
+        doc.bump_revision(stamp, author)
+        doc.item_times[ATTACHMENT_PREFIX + filename] = stamp
+        self._local_modified[unid] = stamp[0]
+        self._persist_doc(doc)
+        self._notify(ChangeKind.UPDATE, doc, old)
+        return doc
+
+    def delete(self, unid: str, author: str = "anonymous") -> DeletionStub:
+        """Hard-delete: remove the document, leaving a deletion stub."""
+        doc = self._require_doc(unid)
+        self._check_delete(author, doc)
+        now, tick = self.clock.timestamp()
+        stub = DeletionStub(
+            unid=unid,
+            seq=doc.seq + 1,
+            seq_time=(now, tick),
+            deleted_at=now,
+            deleted_by=author,
+        )
+        self._remove_doc_internal(unid)
+        self._stubs[unid] = stub
+        self._stub_local[unid] = now
+        self._persist_stub(stub)
+        self._notify(ChangeKind.DELETE, stub, doc)
+        return stub
+
+    # -- soft deletion (trash) ---------------------------------------------
+
+    def soft_delete(self, unid: str, author: str = "anonymous") -> None:
+        """Move a document to the trash; views stop showing it."""
+        doc = self._require_doc(unid)
+        self._check_delete(author, doc)
+        self._trash.add(unid)
+        self._notify(ChangeKind.DELETE, self._as_trash_stub(doc, author), doc)
+
+    def restore(self, unid: str, author: str = "anonymous") -> Document:
+        """Bring a soft-deleted document back from the trash."""
+        if unid not in self._trash:
+            raise DatabaseError(f"{unid} is not in the trash")
+        doc = self._docs[unid]
+        self._check_update(author, doc)
+        self._trash.discard(unid)
+        self._notify(ChangeKind.RESTORE, doc, None)
+        return doc
+
+    def empty_trash(self, author: str = "anonymous") -> int:
+        """Hard-delete everything in the trash; returns the count."""
+        victims = list(self._trash)
+        for unid in victims:
+            self._trash.discard(unid)
+            self.delete(unid, author=author)
+        return len(victims)
+
+    @property
+    def trash(self) -> list[str]:
+        return sorted(self._trash)
+
+    def _as_trash_stub(self, doc: Document, author: str) -> DeletionStub:
+        now, tick = self.clock.timestamp()
+        return DeletionStub(doc.unid, doc.seq, (now, tick), now, author)
+
+    # -- reads -----------------------------------------------------------
+
+    def get(self, unid: str, as_user: str | None = None) -> Document:
+        """Fetch a live document; honours reader fields when a user is named."""
+        doc = self._require_doc(unid)
+        if as_user is not None:
+            self._check_read(as_user, doc)
+        return doc
+
+    def get_by_note_id(self, note_id: int) -> Document:
+        unid = self._by_note_id.get(note_id)
+        if unid is None or unid not in self._docs:
+            raise DocumentNotFound(f"no note with id {note_id}")
+        return self._docs[unid]
+
+    def try_get(self, unid: str) -> Document | None:
+        """Fetch a live document, or None (trash and stubs give None)."""
+        if unid in self._trash:
+            return None
+        return self._docs.get(unid)
+
+    def __contains__(self, unid: str) -> bool:
+        return unid in self._docs and unid not in self._trash
+
+    def __len__(self) -> int:
+        return len(self._docs) - len(self._trash)
+
+    def unids(self) -> list[str]:
+        """UNIDs of all live (non-trashed) documents."""
+        if not self._trash:
+            return list(self._docs)
+        return [unid for unid in self._docs if unid not in self._trash]
+
+    def all_documents(self, as_user: str | None = None) -> Iterator[Document]:
+        """All live documents; filtered by reader fields when a user is named."""
+        for unid in self.unids():
+            doc = self._docs[unid]
+            if as_user is None or self._can_read(as_user, doc):
+                yield doc
+
+    def responses(self, unid: str) -> list[Document]:
+        """Direct response documents of ``unid``, oldest first."""
+        children = [
+            doc
+            for doc in self.all_documents()
+            if doc.parent_unid == unid
+        ]
+        children.sort(key=lambda d: (d.created, d.unid))
+        return children
+
+    def descendants(self, unid: str) -> list[Document]:
+        """All (transitive) responses beneath ``unid``, depth-first."""
+        result: list[Document] = []
+        for child in self.responses(unid):
+            result.append(child)
+            result.extend(self.descendants(child.unid))
+        return result
+
+    # -- profile documents ---------------------------------------------------
+
+    def profile(self, name: str, username: str = "") -> Document:
+        """Get or create the profile document ``name`` (optionally per-user)."""
+        for doc in self._docs.values():
+            if (
+                doc.get("$ProfileName") == name
+                and doc.get("$ProfileUser", "") == username
+            ):
+                return doc
+        return self.create(
+            {"$ProfileName": name, "$ProfileUser": username},
+            author=username or "system",
+        )
+
+    # -- deletion stubs & purging ------------------------------------------
+
+    @property
+    def stubs(self) -> dict[str, DeletionStub]:
+        """Live deletion stubs by UNID (read-only view)."""
+        return dict(self._stubs)
+
+    def purge_stubs(self, older_than: float) -> int:
+        """Drop stubs deleted before virtual time ``older_than``.
+
+        Returns how many were purged. Purging a stub before every replica
+        has seen the delete allows the document to "resurrect" — that is
+        precisely what experiment E2 demonstrates.
+        """
+        victims = [
+            unid
+            for unid, stub in self._stubs.items()
+            if stub.deleted_at < older_than
+        ]
+        for unid in victims:
+            del self._stubs[unid]
+            self._stub_local.pop(unid, None)
+            self._unpersist(_STUB_PREFIX + unid.encode())
+        return len(victims)
+
+    def cutoff_delete(self, older_than: float) -> int:
+        """Trim documents not modified since ``older_than`` — *without*
+        leaving deletion stubs (the "remove documents not modified in the
+        last N days" replica space option).
+
+        Returns how many documents were removed. Because no stub remains,
+        a trimmed document *returns* when it is revised on another replica,
+        or when the replication history is cleared (forcing a full
+        re-examination) — the documented Notes caveat, demonstrated in the
+        test suite. A selective replication formula is the way to keep
+        them out for good.
+        """
+        victims = [
+            doc.unid
+            for doc in self._docs.values()
+            if doc.modified < older_than
+        ]
+        for unid in victims:
+            doc = self._docs[unid]
+            self._remove_doc_internal(unid)
+            self._notify(ChangeKind.DELETE, self._as_trash_stub(doc, "cutoff"), doc)
+        return len(victims)
+
+    def state_fingerprint(self) -> str:
+        """Hash over every live document's revision stamp (and the trash).
+
+        Two database states with equal fingerprints hold identical document
+        revisions, so a derived structure (e.g. a persisted view index)
+        saved at one fingerprint is valid whenever the fingerprint still
+        matches. Computing it is O(n) but needs no formula evaluation —
+        far cheaper than rebuilding the derived structure.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for unid in sorted(self._docs):
+            doc = self._docs[unid]
+            digest.update(
+                f"{unid}:{doc.seq}:{doc.seq_time}\n".encode()
+            )
+        digest.update(("T:" + ",".join(sorted(self._trash))).encode())
+        return digest.hexdigest()
+
+    def clear_replication_history(self) -> None:
+        """Forget all replication history: the next pass with every partner
+        re-examines everything (the admin "Clear History" button)."""
+        self.replication_history.clear()
+
+    # -- replication-facing primitives ----------------------------------
+
+    def changed_since(self, cutoff: float) -> tuple[list[Document], list[DeletionStub]]:
+        """Documents/stubs changed *in this replica* at/after ``cutoff``.
+
+        Uses the local "modified in this file" times: a note installed here
+        by the replicator counts as changed *now*, even though its own
+        modified time is older — that is what makes multi-hop (hub) routing
+        of updates work.
+        """
+        docs = [
+            doc
+            for doc in self._docs.values()
+            if self._local_modified.get(doc.unid, doc.modified) >= cutoff
+        ]
+        stubs = [
+            stub
+            for stub in self._stubs.values()
+            if self._stub_local.get(stub.unid, stub.deleted_at) >= cutoff
+        ]
+        return docs, stubs
+
+    def raw_put(self, doc: Document, kind: ChangeKind = ChangeKind.REPLACE) -> None:
+        """Install ``doc`` exactly as given (no revision bump).
+
+        The replicator's write path: the incoming document keeps its own
+        envelope. Any deletion stub for the UNID is superseded.
+        """
+        old = self._docs.get(doc.unid)
+        # Note ids are db-local (only the UNID travels): keep the existing
+        # local id on update, assign a fresh one on first arrival.
+        if old is not None:
+            doc.note_id = old.note_id
+        else:
+            doc.note_id = self._next_note_id
+            self._next_note_id += 1
+        self._docs[doc.unid] = doc
+        self._by_note_id[doc.note_id] = doc.unid
+        self._local_modified[doc.unid] = self.clock.now
+        self._stubs.pop(doc.unid, None)
+        self._stub_local.pop(doc.unid, None)
+        self._unpersist(_STUB_PREFIX + doc.unid.encode())
+        self._persist_doc(doc)
+        self._notify(kind, doc, old)
+
+    def raw_delete(self, stub: DeletionStub) -> None:
+        """Install a remote deletion: drop the doc, keep the stub."""
+        old = self._docs.get(stub.unid)
+        if old is not None:
+            self._remove_doc_internal(stub.unid)
+        existing = self._stubs.get(stub.unid)
+        if existing is None or tuple(stub.seq_time) > tuple(existing.seq_time):
+            self._stubs[stub.unid] = stub
+            self._stub_local[stub.unid] = self.clock.now
+            self._persist_stub(stub)
+        if old is not None:
+            self._notify(ChangeKind.DELETE, stub, old)
+
+    def new_replica(self, server: str, engine=None) -> "NotesDatabase":
+        """Create an empty replica (same replica id) on another server."""
+        replica = NotesDatabase(
+            title=self.title,
+            clock=self.clock,
+            rng=random.Random(self.rng.getrandbits(64)),
+            replica_id=self.replica_id,
+            server=server,
+            engine=engine,
+            acl=self.acl,
+        )
+        return replica
+
+    # -- persistence ------------------------------------------------------
+
+    def _persist_doc(self, doc: Document) -> None:
+        if self.engine is None:
+            return
+        payload = json.dumps(doc.to_dict()).encode()
+        self.engine.set(_DOC_PREFIX + doc.unid.encode(), payload)
+
+    def _persist_stub(self, stub: DeletionStub) -> None:
+        if self.engine is None:
+            return
+        payload = json.dumps(stub.to_dict()).encode()
+        self.engine.set(_STUB_PREFIX + stub.unid.encode(), payload)
+
+    def _unpersist(self, key: bytes) -> None:
+        if self.engine is None:
+            return
+        if key in self.engine:
+            self.engine.remove(key)
+
+    def _load_from_engine(self) -> None:
+        max_note_id = 0
+        for key in self.engine.keys():
+            payload = json.loads(self.engine.get(key).decode())
+            if key.startswith(_DOC_PREFIX):
+                doc = Document.from_dict(payload)
+                doc.note_id = self._next_note_id + max_note_id
+                max_note_id += 1
+                self._docs[doc.unid] = doc
+                self._by_note_id[doc.note_id] = doc.unid
+            elif key.startswith(_STUB_PREFIX):
+                stub = DeletionStub.from_dict(payload)
+                self._stubs[stub.unid] = stub
+        self._next_note_id += max_note_id
+
+    # -- access control hooks -----------------------------------------------
+
+    def _check_create(self, user: str) -> None:
+        if self.acl is not None and not self.acl.can_create(user):
+            raise AccessDenied(f"{user} may not create documents in {self.title!r}")
+
+    def _check_update(self, user: str, doc: Document) -> None:
+        if self.acl is not None and not self.acl.can_update(user, doc):
+            raise AccessDenied(f"{user} may not edit {doc.unid} in {self.title!r}")
+
+    def _check_delete(self, user: str, doc: Document) -> None:
+        if self.acl is not None and not self.acl.can_delete(user, doc):
+            raise AccessDenied(f"{user} may not delete {doc.unid} in {self.title!r}")
+
+    def _check_read(self, user: str, doc: Document) -> None:
+        if not self._can_read(user, doc):
+            raise AccessDenied(f"{user} may not read {doc.unid} in {self.title!r}")
+
+    def _can_read(self, user: str, doc: Document) -> bool:
+        if self.acl is None:
+            return True
+        return self.acl.can_read(user, doc)
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_doc(self, unid: str) -> Document:
+        doc = self._docs.get(unid)
+        if doc is None or unid in self._trash:
+            raise DocumentNotFound(f"no live document {unid} in {self.title!r}")
+        return doc
+
+    def _remove_doc_internal(self, unid: str) -> None:
+        doc = self._docs.pop(unid)
+        self._by_note_id.pop(doc.note_id, None)
+        self._trash.discard(unid)
+        self._local_modified.pop(unid, None)
+        self._unpersist(_DOC_PREFIX + unid.encode())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NotesDatabase({self.title!r} on {self.server!r}, "
+            f"{len(self)} docs, {len(self._stubs)} stubs)"
+        )

@@ -1,0 +1,124 @@
+"""Typed items: the fields of a note.
+
+A note is a set of named items, each carrying a type tag and a value.
+Special types matter to other subsystems: ``READERS``/``AUTHORS`` drive
+document-level security, ``NAMES`` items hold hierarchical user names, and
+``RICH_TEXT`` marks large bodies the full-text indexer tokenizes.
+
+Values are restricted to JSON-serializable shapes so notes round-trip
+losslessly through storage and the replication wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.errors import ItemError
+
+Number = (int, float)
+
+
+class ItemType(str, Enum):
+    """Item data types, mirroring the Notes item type summary."""
+
+    TEXT = "text"
+    TEXT_LIST = "text_list"
+    NUMBER = "number"
+    NUMBER_LIST = "number_list"
+    DATETIME = "datetime"
+    NAMES = "names"
+    READERS = "readers"
+    AUTHORS = "authors"
+    RICH_TEXT = "rich_text"
+    ATTACHMENT = "attachment"
+
+    @property
+    def is_name_type(self) -> bool:
+        return self in (ItemType.NAMES, ItemType.READERS, ItemType.AUTHORS)
+
+
+def infer_type(value: Any) -> ItemType:
+    """Map a plain Python value onto the narrowest item type."""
+    if isinstance(value, bool):
+        raise ItemError("booleans are not a Notes item type; use 1/0 numbers")
+    if isinstance(value, str):
+        return ItemType.TEXT
+    if isinstance(value, Number):
+        return ItemType.NUMBER
+    if isinstance(value, (list, tuple)):
+        seq = list(value)
+        if all(isinstance(element, str) for element in seq):
+            return ItemType.TEXT_LIST
+        if all(isinstance(element, Number) and not isinstance(element, bool) for element in seq):
+            return ItemType.NUMBER_LIST
+        raise ItemError(f"mixed or unsupported list value {value!r}")
+    raise ItemError(f"unsupported item value {value!r} of type {type(value).__name__}")
+
+
+_VALIDATORS = {
+    ItemType.TEXT: lambda v: isinstance(v, str),
+    ItemType.RICH_TEXT: lambda v: isinstance(v, str),
+    ItemType.TEXT_LIST: lambda v: isinstance(v, list)
+    and all(isinstance(e, str) for e in v),
+    ItemType.NUMBER: lambda v: isinstance(v, Number) and not isinstance(v, bool),
+    ItemType.NUMBER_LIST: lambda v: isinstance(v, list)
+    and all(isinstance(e, Number) and not isinstance(e, bool) for e in v),
+    ItemType.DATETIME: lambda v: isinstance(v, Number) and not isinstance(v, bool),
+    ItemType.NAMES: lambda v: isinstance(v, list)
+    and all(isinstance(e, str) for e in v),
+    ItemType.READERS: lambda v: isinstance(v, list)
+    and all(isinstance(e, str) for e in v),
+    ItemType.AUTHORS: lambda v: isinstance(v, list)
+    and all(isinstance(e, str) for e in v),
+    # Attachments hold {"name": filename, "data": base64 text} so they stay
+    # JSON-safe through storage and the replication wire format.
+    ItemType.ATTACHMENT: lambda v: isinstance(v, dict)
+    and isinstance(v.get("name"), str)
+    and v.get("name") != ""
+    and isinstance(v.get("data"), str),
+}
+
+
+@dataclass(frozen=True)
+class Item:
+    """One named, typed field of a note. Immutable; edits replace the item."""
+
+    name: str
+    type: ItemType
+    value: Any
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ItemError("item name must be non-empty")
+        # Normalise tuples to lists so equality and JSON round-trips agree.
+        if isinstance(self.value, tuple):
+            object.__setattr__(self, "value", list(self.value))
+        if not _VALIDATORS[self.type](self.value):
+            raise ItemError(
+                f"value {self.value!r} is not a valid {self.type.value} for "
+                f"item {self.name!r}"
+            )
+
+    @classmethod
+    def of(cls, name: str, value: Any, type_: ItemType | None = None) -> "Item":
+        """Build an item, inferring the type from the value when not given."""
+        if type_ is None:
+            if isinstance(value, Item):
+                return cls(name, value.type, value.value)
+            type_ = infer_type(value)
+        return cls(name, type_, value)
+
+    def as_list(self) -> list:
+        """The value as a list (scalar values become one-element lists)."""
+        if isinstance(self.value, list):
+            return list(self.value)
+        return [self.value]
+
+    def to_dict(self) -> dict:
+        return {"t": self.type.value, "v": self.value}
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "Item":
+        return cls(name, ItemType(payload["t"]), payload["v"])

@@ -1,0 +1,58 @@
+"""Universal note ids and originator ids.
+
+Every note carries a 32-hex-digit *UNID* that is identical in every replica
+of the database — it is the replication-stable identity. The *originator
+id* (OID) extends the UNID with a sequence number and the virtual time of
+the last sequence bump; the replicator compares OIDs to decide which side
+holds the newer revision and whether the two sides diverged (a conflict).
+
+Replica ids identify a database family: only databases sharing a replica id
+replicate with each other.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_UNID_BITS = 128
+_REPLICA_BITS = 64
+
+
+def new_unid(rng: random.Random) -> str:
+    """A fresh 32-hex-character universal id drawn from ``rng``."""
+    return f"{rng.getrandbits(_UNID_BITS):032X}"
+
+
+def new_replica_id(rng: random.Random) -> str:
+    """A fresh 16-hex-character replica id drawn from ``rng``."""
+    return f"{rng.getrandbits(_REPLICA_BITS):016X}"
+
+
+@dataclass(frozen=True, order=False)
+class OriginatorId:
+    """(unid, sequence number, sequence time) — the replication version stamp.
+
+    ``seq`` counts *revisions* of the note, starting at 1. ``seq_time`` is
+    the (virtual time, tick) pair at which the current revision was made.
+    Two replicas that both revised the same base revision will both be at
+    ``seq = base + 1`` with different ``seq_time`` — that is the divergence
+    (conflict) signature.
+    """
+
+    unid: str
+    seq: int
+    seq_time: tuple[float, int]
+
+    def newer_than(self, other: "OriginatorId") -> bool:
+        """Whether this revision strictly supersedes ``other``.
+
+        Higher sequence wins; equal sequences tie-break on sequence time so
+        replicas converge deterministically (the later edit wins, and the
+        clock tick disambiguates simultaneous edits).
+        """
+        if self.unid != other.unid:
+            raise ValueError(
+                f"cannot compare OIDs of different notes {self.unid}/{other.unid}"
+            )
+        return (self.seq, tuple(self.seq_time)) > (other.seq, tuple(other.seq_time))

@@ -1,0 +1,30 @@
+"""Design elements as notes: the application *is* the database.
+
+The paper stresses that a Notes database carries its own application —
+forms, views and agents are notes too, so replicating the database
+replicates the design. This package implements that: view/agent/folder
+definitions serialize to ``$Design*`` documents, and an
+:class:`~repro.design.application.Application` instantiates live objects
+from them, refreshing automatically when new design notes arrive by
+replication.
+"""
+
+from repro.design.application import Application
+from repro.design.elements import (
+    DESIGN_AGENT_FORM,
+    DESIGN_VIEW_FORM,
+    agent_from_doc,
+    agent_to_items,
+    view_params_from_doc,
+    view_to_items,
+)
+
+__all__ = [
+    "Application",
+    "DESIGN_AGENT_FORM",
+    "DESIGN_VIEW_FORM",
+    "agent_from_doc",
+    "agent_to_items",
+    "view_params_from_doc",
+    "view_to_items",
+]

@@ -1,0 +1,149 @@
+"""Serialization between design objects and design notes."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ViewError
+from repro.agents.agent import Agent, AgentTrigger
+from repro.core.document import Document
+from repro.views.column import SortOrder, ViewColumn
+
+DESIGN_VIEW_FORM = "$DesignView"
+DESIGN_AGENT_FORM = "$DesignAgent"
+DESIGN_ACL_FORM = "$DesignACL"
+
+
+# -- views ------------------------------------------------------------
+
+
+def view_to_items(
+    name: str,
+    selection: str,
+    columns: list[ViewColumn],
+    hierarchical: bool = False,
+) -> dict[str, Any]:
+    """Item dict describing a view design (storable as a document)."""
+    column_specs = [
+        {
+            "title": column.title,
+            "item": column.item,
+            "formula": column.formula,
+            "sort": column.sort.value,
+            "categorized": column.categorized,
+            "totals": column.totals,
+        }
+        for column in columns
+    ]
+    return {
+        "Form": DESIGN_VIEW_FORM,
+        "$Title": name,
+        "$Selection": selection,
+        "$Columns": json.dumps(column_specs),
+        "$Hierarchical": 1 if hierarchical else 0,
+    }
+
+
+def view_params_from_doc(doc: Document) -> dict[str, Any]:
+    """Constructor kwargs for :class:`repro.views.View` from a design note."""
+    if doc.get("Form") != DESIGN_VIEW_FORM:
+        raise ViewError(f"{doc.unid} is not a view design note")
+    columns = [
+        ViewColumn(
+            title=spec["title"],
+            item=spec.get("item"),
+            formula=spec.get("formula"),
+            sort=SortOrder(spec.get("sort", "none")),
+            categorized=bool(spec.get("categorized")),
+            totals=bool(spec.get("totals")),
+        )
+        for spec in json.loads(doc.get("$Columns", "[]"))
+    ]
+    return {
+        "name": doc.get("$Title"),
+        "selection": doc.get("$Selection", "SELECT @All"),
+        "columns": columns,
+        "hierarchical": bool(doc.get("$Hierarchical", 0)),
+    }
+
+
+# -- agents ------------------------------------------------------------
+
+
+def agent_to_items(agent: Agent) -> dict[str, Any]:
+    """Item dict describing an agent design.
+
+    Only formula agents serialize — a Python callable cannot travel inside
+    a note (matching how LotusScript travelled as stored design, while
+    arbitrary host code could not).
+    """
+    if agent.formula is None:
+        raise ViewError(
+            f"agent {agent.name!r} uses a Python action and cannot be "
+            "stored as a design note"
+        )
+    return {
+        "Form": DESIGN_AGENT_FORM,
+        "$Title": agent.name,
+        "$Trigger": agent.trigger.value,
+        "$Selection": agent.selection,
+        "$ActionFormula": agent.formula,
+        "$Interval": agent.interval,
+        "$Scan": agent.scan,
+    }
+
+
+def acl_to_items(acl) -> dict[str, Any]:
+    """Item dict describing a database ACL (it replicates as a note)."""
+    entries = [
+        {
+            "name": entry.name,
+            "level": int(entry.level),
+            "roles": sorted(entry.roles),
+            "can_delete": entry.can_delete_documents,
+            "can_create": entry.can_create_documents,
+        }
+        for entry in acl.entries()
+    ]
+    return {
+        "Form": DESIGN_ACL_FORM,
+        "$Title": "$ACL",
+        "$Entries": json.dumps(entries),
+        "$Groups": json.dumps(acl.groups),
+    }
+
+
+def acl_from_doc(doc: Document):
+    """Reconstruct an :class:`AccessControlList` from its design note."""
+    from repro.security.acl import DEFAULT_ENTRY, AccessControlList, AclLevel
+
+    if doc.get("Form") != DESIGN_ACL_FORM:
+        raise ViewError(f"{doc.unid} is not an ACL design note")
+    acl = AccessControlList(groups=json.loads(doc.get("$Groups", "{}")))
+    for spec in json.loads(doc.get("$Entries", "[]")):
+        acl.add(
+            spec["name"],
+            AclLevel(spec["level"]),
+            roles=spec.get("roles", ()),
+            can_delete_documents=spec.get("can_delete", True),
+            can_create_documents=spec.get("can_create", True),
+        )
+    # ensure a -Default- entry exists even in pathological notes
+    if acl._entries.get(DEFAULT_ENTRY.lower()) is None:  # pragma: no cover
+        acl.add(DEFAULT_ENTRY, AclLevel.NO_ACCESS)
+    return acl
+
+
+def agent_from_doc(doc: Document) -> Agent:
+    """Reconstruct an :class:`Agent` from its design note."""
+    if doc.get("Form") != DESIGN_AGENT_FORM:
+        raise ViewError(f"{doc.unid} is not an agent design note")
+    return Agent(
+        name=doc.get("$Title"),
+        trigger=AgentTrigger(doc.get("$Trigger", "manual")),
+        selection=doc.get("$Selection", "SELECT @All"),
+        formula=doc.get("$ActionFormula"),
+        interval=doc.get("$Interval", 3600.0),
+        scan=doc.get("$Scan", "changed"),
+    )

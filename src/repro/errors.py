@@ -1,0 +1,99 @@
+"""Exception hierarchy for the repro groupware database.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subsystems raise the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Base class for page-store, buffer-pool, WAL and B-tree failures."""
+
+
+class PageError(StorageError):
+    """A slotted page was asked to do something it cannot (overflow, bad slot)."""
+
+
+class BufferPoolError(StorageError):
+    """Pin-count misuse or pool exhaustion in the buffer pool."""
+
+
+class WalError(StorageError):
+    """Write-ahead log corruption or protocol violation."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not bring the store to a consistent state."""
+
+
+class BTreeError(StorageError):
+    """Structural invariant violation inside a B-tree index."""
+
+
+class DocumentError(ReproError):
+    """Invalid document construction or mutation."""
+
+
+class ItemError(DocumentError):
+    """An item value does not fit any supported item type."""
+
+
+class DatabaseError(ReproError):
+    """NotesDatabase-level failure (unknown note, closed database, ...)."""
+
+
+class DocumentNotFound(DatabaseError):
+    """No live note with the requested UNID/NoteID exists."""
+
+
+class FormulaError(ReproError):
+    """Base class for formula-language failures."""
+
+
+class FormulaSyntaxError(FormulaError):
+    """The formula source text could not be tokenized or parsed."""
+
+
+class FormulaEvalError(FormulaError):
+    """Evaluation failed (unknown @function, wrong argument types, ...)."""
+
+
+class ViewError(ReproError):
+    """View definition or index maintenance failure."""
+
+
+class ReplicationError(ReproError):
+    """Replication protocol failure (mismatched replica IDs, bad cursor)."""
+
+
+class AccessDenied(ReproError):
+    """The caller's ACL entry does not permit the attempted operation."""
+
+
+class SecurityError(ReproError):
+    """Signature verification or sealing failure."""
+
+
+class FullTextError(ReproError):
+    """Full-text index or query failure."""
+
+
+class MailError(ReproError):
+    """Mail routing failure (unknown recipient, no route)."""
+
+
+class ClusterError(ReproError):
+    """Cluster membership or failover failure."""
+
+
+class AgentError(ReproError):
+    """Agent definition or execution failure."""
+
+
+class SimulationError(ReproError):
+    """Virtual-clock or event-scheduler misuse."""

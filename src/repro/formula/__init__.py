@@ -1,0 +1,35 @@
+"""The @-formula language: Notes' built-in expression language.
+
+Formulas drive view selection (``SELECT Form = "Memo"``), computed fields,
+agents and selective replication. This package implements a faithful subset:
+
+* statements separated by ``;`` — assignments (``x := expr``), field writes
+  (``FIELD Name := expr``), ``SELECT`` clauses and bare expressions;
+* Notes value semantics — every value is a list, operators broadcast
+  element-wise, comparisons yield 1/0;
+* the ``:`` list-concatenation operator at its (high) Notes precedence;
+* a wide set of @functions (``@If``, ``@Contains``, ``@Left``, ``@Sum``,
+  ``@Unique`` …) evaluated against a document + user + clock context.
+
+Usage::
+
+    from repro.formula import compile_formula
+    formula = compile_formula('SELECT Form = "MainTopic" & @Contains(Subject; "beta")')
+    formula.select(doc)            # -> bool
+    compile_formula('@Sum(Amounts) * 2').evaluate(doc)  # -> [value, ...]
+"""
+
+from repro.formula.evaluator import EvalContext, Formula, compile_formula
+from repro.formula.functions import FUNCTIONS, register_function
+from repro.formula.lexer import tokenize
+from repro.formula.parser import parse
+
+__all__ = [
+    "EvalContext",
+    "Formula",
+    "FUNCTIONS",
+    "compile_formula",
+    "parse",
+    "register_function",
+    "tokenize",
+]

@@ -1,0 +1,165 @@
+"""Tokenizer for the formula language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import FormulaSyntaxError
+
+
+class TokenType(str, Enum):
+    NUMBER = "number"
+    STRING = "string"
+    IDENT = "ident"
+    ATFUNC = "atfunc"
+    KEYWORD = "keyword"
+    OP = "op"
+    LPAREN = "("
+    RPAREN = ")"
+    SEMI = ";"
+    EOF = "eof"
+
+
+KEYWORDS = {"select", "field", "default", "rem"}
+
+# Multi-character operators first so ':=' wins over ':'.
+_OPERATORS = [
+    ":=",
+    "<=",
+    ">=",
+    "<>",
+    "!=",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "&",
+    "|",
+    "!",
+    ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.value}, {self.text!r}@{self.pos})"
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char in "_$"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char in "_$."
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn formula source into a token list ending with EOF."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(source)
+    while pos < length:
+        char = source[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if char == '"':
+            end = pos + 1
+            parts: list[str] = []
+            while True:
+                if end >= length:
+                    raise FormulaSyntaxError(f"unterminated string at {pos}")
+                if source[end] == "\\" and end + 1 < length:
+                    parts.append(source[end + 1])
+                    end += 2
+                    continue
+                if source[end] == '"':
+                    break
+                parts.append(source[end])
+                end += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), pos))
+            pos = end + 1
+            continue
+        if char == "{":
+            end = source.find("}", pos + 1)
+            if end == -1:
+                raise FormulaSyntaxError(f"unterminated {{...}} string at {pos}")
+            tokens.append(Token(TokenType.STRING, source[pos + 1 : end], pos))
+            pos = end + 1
+            continue
+        if char == "[":
+            # Keyword literal, e.g. @Name([Abbreviate]; x) or
+            # @Sort(x; [DESCENDING]); lexes as the string "[Keyword]".
+            end = source.find("]", pos + 1)
+            if end == -1:
+                raise FormulaSyntaxError(f"unterminated [keyword] at {pos}")
+            tokens.append(Token(TokenType.STRING, source[pos : end + 1], pos))
+            pos = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and pos + 1 < length and source[pos + 1].isdigit()
+        ):
+            end = pos
+            seen_dot = False
+            while end < length and (
+                source[end].isdigit() or (source[end] == "." and not seen_dot)
+            ):
+                if source[end] == ".":
+                    # "1.5.x" should stop at the second dot
+                    if end + 1 >= length or not source[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, source[pos:end], pos))
+            pos = end
+            continue
+        if char == "@":
+            end = pos + 1
+            while end < length and _is_ident_char(source[end]):
+                end += 1
+            if end == pos + 1:
+                raise FormulaSyntaxError(f"bare '@' at {pos}")
+            tokens.append(Token(TokenType.ATFUNC, source[pos:end], pos))
+            pos = end
+            continue
+        if _is_ident_start(char):
+            end = pos + 1
+            while end < length and _is_ident_char(source[end]):
+                end += 1
+            text = source[pos:end]
+            if text.lower() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, text.lower(), pos))
+            else:
+                tokens.append(Token(TokenType.IDENT, text, pos))
+            pos = end
+            continue
+        if char == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", pos))
+            pos += 1
+            continue
+        if char == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", pos))
+            pos += 1
+            continue
+        if char == ";":
+            tokens.append(Token(TokenType.SEMI, ";", pos))
+            pos += 1
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token(TokenType.OP, op, pos))
+                pos += len(op)
+                break
+        else:
+            raise FormulaSyntaxError(f"unexpected character {char!r} at {pos}")
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,95 @@
+"""AST node types for the formula language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Node = Union[
+    "Literal",
+    "FieldRef",
+    "ListExpr",
+    "UnaryOp",
+    "BinaryOp",
+    "FuncCall",
+    "Assign",
+    "FieldAssign",
+    "Select",
+    "Default",
+]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string or number constant (stored pre-wrapped as a one-item list)."""
+
+    value: list
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """Reference to a document item or temporary variable by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ListExpr:
+    """The ':' list-concatenation operator."""
+
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # '-' or '!' or '+'
+    operand: "Node"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # + - * / = != < > <= >= & |
+    left: "Node"
+    right: "Node"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str  # includes the leading '@', lower-cased
+    args: tuple
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Temporary-variable assignment: ``name := expr``."""
+
+    name: str
+    expr: "Node"
+
+
+@dataclass(frozen=True)
+class FieldAssign:
+    """Document item write: ``FIELD Name := expr``."""
+
+    name: str
+    expr: "Node"
+
+
+@dataclass(frozen=True)
+class Select:
+    """``SELECT expr`` — the view/replication selection clause."""
+
+    expr: "Node"
+
+
+@dataclass(frozen=True)
+class Default:
+    """``DEFAULT Name := expr`` — set the item only if absent."""
+
+    name: str
+    expr: "Node"
+
+
+@dataclass(frozen=True)
+class Program:
+    statements: tuple = field(default_factory=tuple)

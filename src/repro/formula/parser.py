@@ -1,0 +1,213 @@
+"""Recursive-descent parser for the formula language.
+
+Grammar (binding tightest to loosest)::
+
+    program    := statement (';' statement)* [';']
+    statement  := 'SELECT' expr
+                | 'FIELD' IDENT ':=' expr
+                | 'DEFAULT' IDENT ':=' expr
+                | 'REM' STRING
+                | IDENT ':=' expr
+                | expr
+    expr       := or_expr
+    or_expr    := and_expr ('|' and_expr)*
+    and_expr   := cmp_expr ('&' cmp_expr)*
+    cmp_expr   := add_expr (('='|'!='|'<>'|'<'|'>'|'<='|'>=') add_expr)*
+    add_expr   := mul_expr (('+'|'-') mul_expr)*
+    mul_expr   := list_expr (('*'|'/') list_expr)*
+    list_expr  := unary (':' unary)*
+    unary      := ('!'|'-'|'+') unary | primary
+    primary    := NUMBER | STRING | IDENT | ATFUNC ['(' args ')']
+                | '(' expr ')'
+    args       := [expr (';' expr)*]
+
+Argument lists reuse ``;`` — parenthesis nesting disambiguates it from the
+statement separator, as in real Notes formulas.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormulaSyntaxError
+from repro.formula.lexer import Token, TokenType, tokenize
+from repro.formula.nodes import (
+    Assign,
+    BinaryOp,
+    Default,
+    FieldAssign,
+    FieldRef,
+    FuncCall,
+    ListExpr,
+    Literal,
+    Program,
+    Select,
+    UnaryOp,
+)
+
+_CMP_OPS = {"=", "!=", "<>", "<", ">", "<=", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept(self, type_: TokenType, text: str | None = None) -> Token | None:
+        token = self.current
+        if token.type == type_ and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, type_: TokenType, text: str | None = None) -> Token:
+        token = self.accept(type_, text)
+        if token is None:
+            want = text or type_.value
+            raise FormulaSyntaxError(
+                f"expected {want!r} but found {self.current.text!r} "
+                f"at position {self.current.pos}"
+            )
+        return token
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        statements = []
+        while self.current.type != TokenType.EOF:
+            statement = self.parse_statement()
+            if statement is not None:
+                statements.append(statement)
+            if not self.accept(TokenType.SEMI):
+                break
+        self.expect(TokenType.EOF)
+        if not statements:
+            raise FormulaSyntaxError("empty formula")
+        return Program(tuple(statements))
+
+    def parse_statement(self):
+        if self.accept(TokenType.KEYWORD, "rem"):
+            self.expect(TokenType.STRING)
+            return None
+        if self.accept(TokenType.KEYWORD, "select"):
+            return Select(self.parse_expr())
+        if self.accept(TokenType.KEYWORD, "field"):
+            name = self.expect(TokenType.IDENT).text
+            self.expect(TokenType.OP, ":=")
+            return FieldAssign(name, self.parse_expr())
+        if self.accept(TokenType.KEYWORD, "default"):
+            name = self.expect(TokenType.IDENT).text
+            self.expect(TokenType.OP, ":=")
+            return Default(name, self.parse_expr())
+        if (
+            self.current.type == TokenType.IDENT
+            and self.tokens[self.pos + 1].type == TokenType.OP
+            and self.tokens[self.pos + 1].text == ":="
+        ):
+            name = self.advance().text
+            self.advance()  # ':='
+            return Assign(name, self.parse_expr())
+        return self.parse_expr()
+
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        node = self.parse_and()
+        while self.accept(TokenType.OP, "|"):
+            node = BinaryOp("|", node, self.parse_and())
+        return node
+
+    def parse_and(self):
+        node = self.parse_cmp()
+        while self.accept(TokenType.OP, "&"):
+            node = BinaryOp("&", node, self.parse_cmp())
+        return node
+
+    def parse_cmp(self):
+        node = self.parse_add()
+        while self.current.type == TokenType.OP and self.current.text in _CMP_OPS:
+            op = self.advance().text
+            if op == "<>":
+                op = "!="
+            node = BinaryOp(op, node, self.parse_add())
+        return node
+
+    def parse_add(self):
+        node = self.parse_mul()
+        while self.current.type == TokenType.OP and self.current.text in ("+", "-"):
+            op = self.advance().text
+            node = BinaryOp(op, node, self.parse_mul())
+        return node
+
+    def parse_mul(self):
+        node = self.parse_list()
+        while self.current.type == TokenType.OP and self.current.text in ("*", "/"):
+            op = self.advance().text
+            node = BinaryOp(op, node, self.parse_list())
+        return node
+
+    def parse_list(self):
+        node = self.parse_unary()
+        if self.current.type == TokenType.OP and self.current.text == ":":
+            parts = [node]
+            while self.accept(TokenType.OP, ":"):
+                parts.append(self.parse_unary())
+            return ListExpr(tuple(parts))
+        return node
+
+    def parse_unary(self):
+        if self.current.type == TokenType.OP and self.current.text in ("!", "-", "+"):
+            op = self.advance().text
+            return UnaryOp(op, self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self):
+        token = self.current
+        if token.type == TokenType.NUMBER:
+            self.advance()
+            text = token.text
+            value = float(text) if "." in text else int(text)
+            return Literal([value])
+        if token.type == TokenType.STRING:
+            self.advance()
+            return Literal([token.text])
+        if token.type == TokenType.ATFUNC:
+            self.advance()
+            name = token.text.lower()
+            args: tuple = ()
+            if self.accept(TokenType.LPAREN):
+                args = self.parse_args()
+                self.expect(TokenType.RPAREN)
+            return FuncCall(name, args)
+        if token.type == TokenType.IDENT:
+            self.advance()
+            return FieldRef(token.text)
+        if self.accept(TokenType.LPAREN):
+            node = self.parse_expr()
+            self.expect(TokenType.RPAREN)
+            return node
+        raise FormulaSyntaxError(
+            f"unexpected token {token.text!r} at position {token.pos}"
+        )
+
+    def parse_args(self) -> tuple:
+        if self.current.type == TokenType.RPAREN:
+            return ()
+        args = [self.parse_expr()]
+        while self.accept(TokenType.SEMI):
+            args.append(self.parse_expr())
+        return tuple(args)
+
+
+def parse(source: str) -> Program:
+    """Parse formula source text into a :class:`Program` AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,20 @@
+"""Full-text search over a Notes database.
+
+Plays the role of the external full-text engine Domino bundled: an inverted
+index over the text items of every document, maintained incrementally from
+database change events (with a rebuild path for the E8 comparison), and a
+query language with boolean operators, quoted phrases and per-field scoping.
+Results rank by tf–idf.
+"""
+
+from repro.fulltext.index import FullTextIndex, SearchHit
+from repro.fulltext.query import parse_query
+from repro.fulltext.tokenizer import STOPWORDS, tokenize
+
+__all__ = [
+    "FullTextIndex",
+    "STOPWORDS",
+    "SearchHit",
+    "parse_query",
+    "tokenize",
+]

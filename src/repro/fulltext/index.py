@@ -1,0 +1,265 @@
+"""The inverted full-text index.
+
+Postings map ``term -> unid -> field -> [positions]``. The index subscribes
+to database change events for incremental maintenance (``auto`` mode); the
+``rebuild()`` path re-tokenizes the whole database and is the E8 baseline.
+
+Scoring is tf–idf: ``tf * log(N / df)`` summed over the positive terms of
+the query. Phrases verify adjacent positions inside one field.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import FullTextError
+from repro.core.database import ChangeKind, NotesDatabase
+from repro.core.document import Document
+from repro.core.items import ItemType
+from repro.fulltext.query import And, Not, Or, Phrase, Term, parse_query
+from repro.fulltext.tokenizer import stem, tokenize
+
+_TEXT_TYPES = (ItemType.TEXT, ItemType.RICH_TEXT, ItemType.TEXT_LIST,
+               ItemType.NAMES, ItemType.AUTHORS, ItemType.READERS)
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    unid: str
+    score: float
+
+
+class FullTextIndex:
+    """An incrementally-maintained inverted index over one database."""
+
+    #: Default per-field score multipliers: a hit in the Subject counts
+    #: double — title matches rank above body mentions.
+    DEFAULT_FIELD_WEIGHTS = {"subject": 2.0}
+
+    def __init__(
+        self,
+        db: NotesDatabase,
+        mode: str = "auto",
+        field_weights: dict[str, float] | None = None,
+    ) -> None:
+        if mode not in ("auto", "manual"):
+            raise FullTextError(f"mode must be 'auto' or 'manual', got {mode!r}")
+        self.db = db
+        self.mode = mode
+        self.field_weights = (
+            dict(self.DEFAULT_FIELD_WEIGHTS)
+            if field_weights is None
+            else {name.lower(): weight for name, weight in field_weights.items()}
+        )
+        # term -> unid -> field(lower) -> positions
+        self._postings: dict[str, dict[str, dict[str, list[int]]]] = {}
+        # unid -> term set (for cheap removal)
+        self._doc_terms: dict[str, set[str]] = {}
+        self._doc_count = 0
+        self.rebuilds = 0
+        self.incremental_ops = 0
+        if mode == "auto":
+            db.subscribe(self._on_change)
+        self.rebuild()
+
+    # -- maintenance --------------------------------------------------------
+
+    def close(self) -> None:
+        if self.mode == "auto":
+            self.db.unsubscribe(self._on_change)
+
+    def rebuild(self) -> int:
+        """Re-index every live document; returns the document count."""
+        self._postings.clear()
+        self._doc_terms.clear()
+        self._doc_count = 0
+        for doc in self.db.all_documents():
+            self._add(doc)
+        self.rebuilds += 1
+        return self._doc_count
+
+    def refresh(self) -> None:
+        """Manual-mode catch-up (full rebuild, like the E8 baseline)."""
+        if self.mode == "manual":
+            self.rebuild()
+
+    def _on_change(self, kind: ChangeKind, payload, old: Document | None) -> None:
+        self.incremental_ops += 1
+        if kind == ChangeKind.DELETE:
+            self._remove(payload.unid)
+        elif kind in (ChangeKind.CREATE, ChangeKind.RESTORE):
+            self._add(payload)
+        elif kind in (ChangeKind.UPDATE, ChangeKind.REPLACE):
+            self._remove(payload.unid)
+            self._add(payload)
+
+    def _add(self, doc: Document) -> None:
+        terms: set[str] = set()
+        for item in doc:
+            if item.type not in _TEXT_TYPES:
+                continue
+            text = (
+                " ".join(item.value) if isinstance(item.value, list) else item.value
+            )
+            field = item.name.lower()
+            for position, token in enumerate(tokenize(text)):
+                slot = (
+                    self._postings.setdefault(token, {})
+                    .setdefault(doc.unid, {})
+                    .setdefault(field, [])
+                )
+                slot.append(position)
+                terms.add(token)
+        self._doc_terms[doc.unid] = terms
+        self._doc_count += 1
+
+    def _remove(self, unid: str) -> None:
+        terms = self._doc_terms.pop(unid, None)
+        if terms is None:
+            return
+        for term in terms:
+            postings = self._postings.get(term)
+            if postings is not None:
+                postings.pop(unid, None)
+                if not postings:
+                    del self._postings[term]
+        self._doc_count -= 1
+
+    # -- stats ------------------------------------------------------------
+
+    @property
+    def term_count(self) -> int:
+        return len(self._postings)
+
+    @property
+    def document_count(self) -> int:
+        return self._doc_count
+
+    # -- search -------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        limit: int | None = None,
+        as_user: str | None = None,
+    ) -> list[SearchHit]:
+        """Run ``query``; returns hits ranked by tf–idf, best first."""
+        tree = parse_query(query)
+        matched = self._eval(tree)
+        scored = [
+            SearchHit(unid, self._score(unid, tree))
+            for unid in matched
+            if unid in self.db
+        ]
+        if as_user is not None:
+            scored = [
+                hit
+                for hit in scored
+                if self.db._can_read(as_user, self.db.get(hit.unid))
+            ]
+        scored.sort(key=lambda hit: (-hit.score, hit.unid))
+        return scored[:limit] if limit is not None else scored
+
+    # -- boolean evaluation --------------------------------------------------
+
+    def _universe(self) -> set[str]:
+        return set(self._doc_terms)
+
+    def _eval(self, node) -> set[str]:
+        if isinstance(node, Term):
+            return self._term_docs(node)
+        if isinstance(node, Phrase):
+            return self._phrase_docs(node)
+        if isinstance(node, And):
+            parts = [self._eval(part) for part in node.parts]
+            result = parts[0]
+            for part in parts[1:]:
+                result &= part
+            return result
+        if isinstance(node, Or):
+            result: set[str] = set()
+            for part in node.parts:
+                result |= self._eval(part)
+            return result
+        if isinstance(node, Not):
+            return self._universe() - self._eval(node.part)
+        raise FullTextError(f"cannot evaluate query node {node!r}")
+
+    def _term_docs(self, term: Term) -> set[str]:
+        postings = self._postings.get(stem(term.text.lower()), {})
+        if term.field is None:
+            return set(postings)
+        field = term.field.lower()
+        return {unid for unid, fields in postings.items() if field in fields}
+
+    def _phrase_docs(self, phrase: Phrase) -> set[str]:
+        words = tokenize(phrase.text)
+        if not words:
+            return set()
+        if len(words) == 1:
+            return self._term_docs(Term(words[0], field=phrase.field))
+        candidates = None
+        for word in words:
+            docs = set(self._postings.get(word, {}))
+            candidates = docs if candidates is None else candidates & docs
+        result = set()
+        for unid in candidates or ():
+            if self._phrase_in_doc(words, unid, phrase.field):
+                result.add(unid)
+        return result
+
+    def _phrase_in_doc(self, words: list[str], unid: str, field: str | None) -> bool:
+        fields = set()
+        for word in words:
+            entry = self._postings.get(word, {}).get(unid, {})
+            fields |= set(entry)
+        if field is not None:
+            fields &= {field.lower()}
+        for candidate_field in fields:
+            starts = self._postings.get(words[0], {}).get(unid, {}).get(
+                candidate_field, []
+            )
+            for start in starts:
+                if all(
+                    (start + offset)
+                    in self._postings.get(word, {}).get(unid, {}).get(
+                        candidate_field, []
+                    )
+                    for offset, word in enumerate(words[1:], 1)
+                ):
+                    return True
+        return False
+
+    # -- scoring ------------------------------------------------------------
+
+    def _positive_terms(self, node) -> list[Term | Phrase]:
+        if isinstance(node, (Term, Phrase)):
+            return [node]
+        if isinstance(node, (And, Or)):
+            out = []
+            for part in node.parts:
+                out.extend(self._positive_terms(part))
+            return out
+        return []  # NOT subtrees do not contribute to relevance
+
+    def _score(self, unid: str, tree) -> float:
+        total = 0.0
+        n_docs = max(self._doc_count, 1)
+        for node in self._positive_terms(tree):
+            words = (
+                tokenize(node.text)
+                if isinstance(node, Phrase)
+                else [stem(node.text.lower())]
+            )
+            for word in words:
+                postings = self._postings.get(word)
+                if not postings or unid not in postings:
+                    continue
+                tf = sum(
+                    len(positions) * self.field_weights.get(field, 1.0)
+                    for field, positions in postings[unid].items()
+                )
+                idf = math.log(n_docs / len(postings)) + 1.0
+                total += tf * idf
+        return total

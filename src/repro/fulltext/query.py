@@ -1,0 +1,147 @@
+"""Full-text query language.
+
+Grammar::
+
+    query   := or
+    or      := and ('OR' and)*
+    and     := not (('AND')? not)*          # juxtaposition = AND
+    not     := 'NOT' not | atom
+    atom    := '(' query ')' | FIELD ':' atom | PHRASE | TERM
+
+Examples: ``replication AND conflict``, ``"deletion stub"``,
+``subject:budget OR body:forecast``, ``meeting NOT cancelled``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import FullTextError
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<phrase>"[^"]*") |
+        (?P<word>[^\s()"]+)
+    )""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Term:
+    text: str
+    field: str | None = None
+
+
+@dataclass(frozen=True)
+class Phrase:
+    text: str
+    field: str | None = None
+
+
+@dataclass(frozen=True)
+class And:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class Or:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class Not:
+    part: object
+
+
+def _lex(source: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN.match(source, pos)
+        if match is None or match.end() == pos:
+            remaining = source[pos:].strip()
+            if not remaining:
+                break
+            raise FullTextError(f"cannot tokenize query at {remaining[:20]!r}")
+        pos = match.end()
+        for kind in ("lparen", "rparen", "phrase", "word"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append(text)
+                break
+    return tokens
+
+
+class _QueryParser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def current(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def parse(self):
+        node = self.parse_or()
+        if self.current is not None:
+            raise FullTextError(f"unexpected {self.current!r} in query")
+        return node
+
+    def parse_or(self):
+        parts = [self.parse_and()]
+        while self.current is not None and self.current.upper() == "OR":
+            self.pos += 1
+            parts.append(self.parse_and())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def parse_and(self):
+        parts = [self.parse_not()]
+        while self.current is not None and self.current != ")" and self.current.upper() != "OR":
+            if self.current.upper() == "AND":
+                self.pos += 1
+            parts.append(self.parse_not())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def parse_not(self):
+        if self.current is not None and self.current.upper() == "NOT":
+            self.pos += 1
+            return Not(self.parse_not())
+        return self.parse_atom()
+
+    def parse_atom(self):
+        token = self.current
+        if token is None:
+            raise FullTextError("query ended unexpectedly")
+        if token == "(":
+            self.pos += 1
+            node = self.parse_or()
+            if self.current != ")":
+                raise FullTextError("missing ')' in query")
+            self.pos += 1
+            return node
+        self.pos += 1
+        if token.startswith('"'):
+            return Phrase(token.strip('"'))
+        if ":" in token and not token.startswith(":"):
+            field, _, rest = token.partition(":")
+            if not rest:
+                # `field:"a phrase"` lexes as `field:` + the phrase token.
+                nxt = self.current
+                if nxt is not None and nxt.startswith('"'):
+                    self.pos += 1
+                    return Phrase(nxt.strip('"'), field=field)
+                raise FullTextError(f"field scope {token!r} has no term")
+            return Term(rest, field=field)
+        return Term(token)
+
+
+def parse_query(source: str):
+    """Parse query text into a Term/Phrase/And/Or/Not tree."""
+    tokens = _lex(source)
+    if not tokens:
+        raise FullTextError("empty query")
+    return _QueryParser(tokens).parse()

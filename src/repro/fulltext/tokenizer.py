@@ -1,0 +1,43 @@
+"""Tokenization for full-text indexing and querying.
+
+Lowercased word tokens, digit runs kept, a small English stopword list, and
+a light suffix-stripping stemmer so "replicates"/"replicated"/"replication"
+meet at a common stem. The same pipeline runs at index and query time.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD = re.compile(r"[a-z0-9]+")
+
+STOPWORDS = frozenset(
+    """a an and are as at be but by for from has have i in is it its of on or
+    that the this to was were will with not no you your we our they he she"""
+    .split()
+)
+
+_SUFFIXES = ("ingly", "edly", "ation", "ions", "ing", "ies", "ied", "ion",
+             "es", "ed", "ly", "s")
+
+
+def stem(word: str) -> str:
+    """Very light suffix stripping; never shortens below three characters."""
+    for suffix in _SUFFIXES:
+        if word.endswith(suffix) and len(word) - len(suffix) >= 3:
+            base = word[: -len(suffix)]
+            if suffix in ("ies", "ied"):
+                base += "y"
+            return base
+    return word
+
+
+def tokenize(text: str, stop: bool = True, do_stem: bool = True) -> list[str]:
+    """Text -> token list. Stopwords dropped, stems applied, order kept."""
+    tokens = []
+    for match in _WORD.finditer(text.lower()):
+        word = match.group()
+        if stop and word in STOPWORDS:
+            continue
+        tokens.append(stem(word) if do_stem else word)
+    return tokens

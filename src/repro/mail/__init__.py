@@ -1,0 +1,21 @@
+"""Mail: the application Notes was born as, expressed over the document DB.
+
+Everything is documents, exactly as the paper stresses: the *directory* is a
+database of Person and Group documents; a mail message is a document in the
+sender's server ``mail.box`` queue; the *router* moves it hop by hop along
+mail connections until it lands in each recipient's mail-file database.
+Group expansion, multi-hop routing, route traces and non-delivery reports
+are all implemented.
+"""
+
+from repro.mail.directory import Directory
+from repro.mail.message import make_memo, make_nondelivery_report
+from repro.mail.router import MailRouter, MailStats
+
+__all__ = [
+    "Directory",
+    "MailRouter",
+    "MailStats",
+    "make_memo",
+    "make_nondelivery_report",
+]

@@ -1,0 +1,118 @@
+"""The directory (Name & Address Book): Person and Group documents.
+
+Kept in an ordinary :class:`NotesDatabase` — the point the paper makes about
+Domino administration being "just databases". Views over Form give fast
+lookup; group expansion tolerates nesting and cycles.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import MailError
+from repro.core.database import NotesDatabase
+from repro.core.document import Document
+from repro.sim.clock import VirtualClock
+from repro.views import SortOrder, View, ViewColumn
+
+
+class Directory:
+    """Person/Group registry backed by a names database."""
+
+    def __init__(self, clock: VirtualClock | None = None, seed: int = 42) -> None:
+        self.db = NotesDatabase(
+            "names.nsf", clock=clock, rng=random.Random(seed), server="directory"
+        )
+        self._people = View(
+            self.db,
+            "People",
+            selection='SELECT Form = "Person"',
+            columns=[ViewColumn(title="UserName", item="UserName",
+                                sort=SortOrder.ASCENDING)],
+        )
+        self._groups = View(
+            self.db,
+            "Groups",
+            selection='SELECT Form = "Group"',
+            columns=[ViewColumn(title="GroupName", item="GroupName",
+                                sort=SortOrder.ASCENDING)],
+        )
+
+    # -- registration -----------------------------------------------------
+
+    def register_person(
+        self, name: str, mail_server: str, mail_file: str | None = None
+    ) -> Document:
+        """Add (or replace) a Person document."""
+        existing = self.find_person(name)
+        items = {
+            "Form": "Person",
+            "UserName": name,
+            "MailServer": mail_server,
+            "MailFile": mail_file or f"mail/{name.split('/')[0].lower()}.nsf",
+        }
+        if existing is not None:
+            return self.db.update(existing.unid, items, author="admin")
+        return self.db.create(items, author="admin")
+
+    def register_group(self, name: str, members: list[str]) -> Document:
+        """Add (or replace) a Group document."""
+        existing = self.find_group(name)
+        items = {"Form": "Group", "GroupName": name, "Members": list(members)}
+        if existing is not None:
+            return self.db.update(existing.unid, items, author="admin")
+        return self.db.create(items, author="admin")
+
+    # -- lookup ---------------------------------------------------------
+
+    def find_person(self, name: str) -> Document | None:
+        return self._people.first_by_key(name)
+
+    def find_group(self, name: str) -> Document | None:
+        return self._groups.first_by_key(name)
+
+    def mail_server_of(self, name: str) -> str:
+        person = self.find_person(name)
+        if person is None:
+            raise MailError(f"no Person document for {name!r}")
+        return person.get("MailServer")
+
+    def mail_file_of(self, name: str) -> str:
+        person = self.find_person(name)
+        if person is None:
+            raise MailError(f"no Person document for {name!r}")
+        return person.get("MailFile")
+
+    def expand_recipients(self, names: list[str]) -> tuple[list[str], list[str]]:
+        """Resolve groups to people.
+
+        Returns ``(people, unknown)`` — unknown names had neither a Person
+        nor a Group document. Nested groups and cycles are handled.
+        """
+        people: dict[str, None] = {}
+        unknown: list[str] = []
+        visited_groups: set[str] = set()
+        queue = list(names)
+        while queue:
+            name = queue.pop(0)
+            if self.find_person(name) is not None:
+                people.setdefault(name)
+                continue
+            group = self.find_group(name)
+            if group is not None:
+                key = name.lower()
+                if key in visited_groups:
+                    continue
+                visited_groups.add(key)
+                queue.extend(group.get_list("Members"))
+                continue
+            unknown.append(name)
+        return list(people), unknown
+
+    @property
+    def people(self) -> list[str]:
+        return [doc.get("UserName") for doc in self._people.documents()]
+
+    @property
+    def groups(self) -> list[str]:
+        return [doc.get("GroupName") for doc in self._groups.documents()]

@@ -1,0 +1,64 @@
+"""Mail message construction helpers.
+
+A memo is an ordinary document with the conventional mail items (``Form``,
+``From``, ``SendTo``, ``CopyTo``, ``Subject``, ``Body``). Router metadata
+(``$RouteTrace``, ``DeliveredDate``) is added as it travels.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def make_memo(
+    sender: str,
+    send_to: list[str] | str,
+    subject: str,
+    body: str = "",
+    copy_to: list[str] | str | None = None,
+    blind_copy_to: list[str] | str | None = None,
+    extra_items: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Item dict for a mail memo, ready for ``db.create`` or router submit."""
+
+    def as_list(value) -> list[str]:
+        if value is None:
+            return []
+        return [value] if isinstance(value, str) else list(value)
+
+    items: dict[str, Any] = {
+        "Form": "Memo",
+        "From": sender,
+        "SendTo": as_list(send_to),
+        "CopyTo": as_list(copy_to),
+        "BlindCopyTo": as_list(blind_copy_to),
+        "Subject": subject,
+        "Body": body,
+    }
+    items.update(extra_items or {})
+    return items
+
+
+def recipients_of(items: dict[str, Any]) -> list[str]:
+    """All recipient names of a memo item dict (SendTo + copies)."""
+    out: list[str] = []
+    for field in ("SendTo", "CopyTo", "BlindCopyTo"):
+        value = items.get(field) or []
+        out.extend([value] if isinstance(value, str) else value)
+    return out
+
+
+def make_nondelivery_report(
+    original: dict[str, Any], failed_recipient: str, reason: str
+) -> dict[str, Any]:
+    """A non-delivery report memo addressed back to the original sender."""
+    return make_memo(
+        sender="Mail Router",
+        send_to=original.get("From", ""),
+        subject=f"NON-DELIVERY of: {original.get('Subject', '')}",
+        body=(
+            f"Your message could not be delivered to {failed_recipient}: "
+            f"{reason}"
+        ),
+        extra_items={"Form": "NonDelivery", "FailedRecipient": failed_recipient},
+    )

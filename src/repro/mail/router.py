@@ -1,0 +1,258 @@
+"""The mail router: hop-by-hop delivery over mail connections.
+
+Each server owns a ``mail.box`` queue database and hosts the mail files of
+its users. ``submit`` drops a memo in the origin server's queue;
+``route_step`` advances every queued message one hop along the shortest
+path of mail connections (computed with networkx); ``deliver_all`` loops
+until quiescence. Messages collect a ``$RouteTrace`` and get a
+``DeliveredDate``; unknown recipients bounce a non-delivery report back to
+the sender.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import MailError
+from repro.core.database import NotesDatabase
+from repro.mail.directory import Directory
+from repro.mail.message import make_nondelivery_report, recipients_of
+from repro.replication.network import SimulatedNetwork
+
+
+def _wire_size(items: dict) -> int:
+    """Approximate on-the-wire bytes of a memo's items."""
+    total = 64
+    for name, value in items.items():
+        total += len(name) + 8
+        if isinstance(value, str):
+            total += len(value)
+        elif isinstance(value, list):
+            total += sum(len(v) if isinstance(v, str) else 8 for v in value)
+        else:
+            total += 8
+    return total
+
+
+@dataclass
+class MailStats:
+    """Router counters (experiment E10 reads these)."""
+
+    submitted: int = 0
+    delivered: int = 0
+    bounced: int = 0
+    held: int = 0
+    transfers: int = 0
+    hop_counts: list[int] = field(default_factory=list)
+    delivery_latency: list[float] = field(default_factory=list)
+
+    @property
+    def mean_hops(self) -> float:
+        return (
+            sum(self.hop_counts) / len(self.hop_counts) if self.hop_counts else 0.0
+        )
+
+
+class MailRouter:
+    """Routes memos between servers of a :class:`SimulatedNetwork`.
+
+    Store-and-forward: a memo that cannot reach its next hop right now is
+    *held* in the mailbox and retried on later routing passes; a
+    non-delivery report goes back only after ``max_attempts`` failures
+    (or immediately for unknown recipients).
+    """
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        directory: Directory,
+        max_attempts: int = 24,
+    ) -> None:
+        self.network = network
+        self.directory = directory
+        self.max_attempts = max_attempts
+        self.stats = MailStats()
+        self._graph = nx.Graph()
+        self._mailboxes: dict[str, NotesDatabase] = {}
+        self._mail_files: dict[tuple[str, str], NotesDatabase] = {}
+        self._rng = random.Random(0x4D41494C)  # "MAIL"
+
+    # -- wiring -----------------------------------------------------------
+
+    def add_route(self, a: str, b: str) -> None:
+        """Declare a mail connection between two servers (symmetric)."""
+        self.network.server(a)
+        self.network.server(b)
+        self._graph.add_edge(a, b)
+
+    def mailbox(self, server: str) -> NotesDatabase:
+        """The ``mail.box`` queue database of ``server`` (created lazily)."""
+        box = self._mailboxes.get(server)
+        if box is None:
+            box = NotesDatabase(
+                f"mail.box@{server}",
+                clock=self.network.clock,
+                rng=random.Random(self._rng.getrandbits(64)),
+                server=server,
+            )
+            self._mailboxes[server] = box
+        return box
+
+    def mail_file(self, user: str) -> NotesDatabase:
+        """The recipient's mail-file database on their home server."""
+        server = self.directory.mail_server_of(user)
+        key = (server, self.directory.mail_file_of(user))
+        db = self._mail_files.get(key)
+        if db is None:
+            db = NotesDatabase(
+                key[1],
+                clock=self.network.clock,
+                rng=random.Random(self._rng.getrandbits(64)),
+                server=server,
+            )
+            self._mail_files[key] = db
+        return db
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, items: dict, origin_server: str) -> None:
+        """Deposit a memo into ``origin_server``'s mail.box for routing."""
+        if not recipients_of(items):
+            raise MailError("memo has no recipients")
+        memo = dict(items)
+        memo.setdefault("$SubmittedAt", self.network.clock.now)
+        memo["$RouteTrace"] = [origin_server]
+        self.mailbox(origin_server).create(memo, author=memo.get("From", "router"))
+        self.stats.submitted += 1
+
+    # -- routing -----------------------------------------------------------
+
+    def route_step(self) -> int:
+        """Advance every queued message one hop; returns messages that made
+        progress (held-for-retry messages do not count)."""
+        progressed = 0
+        for server in list(self._mailboxes):
+            box = self._mailboxes[server]
+            for unid in box.unids():
+                memo = box.get(unid)
+                items = {name: memo.get(name) for name in memo.item_names}
+                box.delete(unid, author="router")
+                progressed += self._route_one(server, items)
+        return progressed
+
+    def pending(self) -> int:
+        """Messages currently queued (including held-for-retry ones)."""
+        return sum(len(box) for box in self._mailboxes.values())
+
+    def attach(self, events, interval: float = 60.0) -> None:
+        """Run the router on the discrete-event loop: one routing step every
+        ``interval`` virtual seconds. Delivery latency then reflects route
+        length — each hop waits for the next router pass, as real store-
+        and-forward mail did."""
+        events.every(interval, lambda: self.route_step(),
+                     label="mail router")
+
+    def deliver_all(self, max_steps: int = 64) -> MailStats:
+        """Route until no message can make further progress.
+
+        Held messages (next hop unreachable) stay queued for a later pass;
+        they do not count as progress, so the loop terminates during
+        outages.
+        """
+        for _ in range(max_steps):
+            if self.route_step() == 0:
+                return self.stats
+        raise MailError(f"mail still circulating after {max_steps} steps")
+
+    def _route_one(self, server: str, items: dict) -> int:
+        """Route one memo; returns 1 when it progressed, 0 when held."""
+        progressed = 0
+        people, unknown = self.directory.expand_recipients(recipients_of(items))
+        for name in unknown:
+            self._bounce(server, items, name, "no such person or group")
+            progressed = 1
+        # Partition people by their home server; deliver or forward.
+        by_server: dict[str, list[str]] = {}
+        for person in people:
+            by_server.setdefault(self.directory.mail_server_of(person), []).append(
+                person
+            )
+        stuck: list[str] = []
+        for home, users in sorted(by_server.items()):
+            if home == server:
+                for user in users:
+                    self._deliver(server, items, user)
+                progressed = 1
+                continue
+            next_hop = self._next_hop(server, home)
+            if next_hop is None:
+                attempts = int(items.get("$RouteAttempts") or 0)
+                if attempts + 1 >= self.max_attempts:
+                    for user in users:
+                        self._bounce(server, items, user, f"no route to {home}")
+                    progressed = 1
+                else:
+                    stuck.extend(users)
+                continue
+            forwarded = dict(items)
+            # Restrict the addressee list on this branch to this server's
+            # users so forks down different routes do not double-deliver.
+            forwarded["SendTo"] = users
+            forwarded["CopyTo"] = []
+            forwarded["BlindCopyTo"] = []
+            forwarded["$RouteAttempts"] = 0
+            forwarded["$RouteTrace"] = list(items.get("$RouteTrace", [])) + [next_hop]
+            self.network.transfer(server, next_hop, _wire_size(forwarded))
+            self.stats.transfers += 1
+            self.mailbox(next_hop).create(
+                forwarded, author=forwarded.get("From", "router")
+            )
+            progressed = 1
+        if stuck:
+            held = dict(items)
+            held["SendTo"] = stuck
+            held["CopyTo"] = []
+            held["BlindCopyTo"] = []
+            held["$RouteAttempts"] = int(items.get("$RouteAttempts") or 0) + 1
+            self.mailbox(server).create(held, author=held.get("From", "router"))
+            self.stats.held += 1
+        return progressed
+
+    def _next_hop(self, server: str, destination: str) -> str | None:
+        if server == destination:
+            return destination
+        if destination not in self._graph or server not in self._graph:
+            return None
+        usable = nx.Graph(
+            (a, b)
+            for a, b in self._graph.edges
+            if self.network.is_reachable(a, b)
+        )
+        usable.add_nodes_from(self._graph.nodes)
+        try:
+            path = nx.shortest_path(usable, server, destination)
+        except nx.NetworkXNoPath:
+            return None
+        return path[1]
+
+    def _deliver(self, server: str, items: dict, user: str) -> None:
+        delivered = dict(items)
+        delivered["DeliveredDate"] = self.network.clock.now
+        trace = list(delivered.get("$RouteTrace", []))
+        self.mail_file(user).create(delivered, author=items.get("From", "router"))
+        self.stats.delivered += 1
+        self.stats.hop_counts.append(max(len(trace) - 1, 0))
+        submitted = items.get("$SubmittedAt", self.network.clock.now)
+        self.stats.delivery_latency.append(self.network.clock.now - submitted)
+
+    def _bounce(self, server: str, items: dict, recipient: str, reason: str) -> None:
+        self.stats.bounced += 1
+        sender = items.get("From")
+        if not sender or items.get("Form") == "NonDelivery":
+            return  # cannot bounce a bounce
+        report = make_nondelivery_report(items, recipient, reason)
+        report["$RouteTrace"] = [server]
+        self.mailbox(server).create(report, author="Mail Router")

@@ -1,0 +1,139 @@
+"""Simulated server network: latency, bandwidth, partitions, traffic stats.
+
+Stands in for the corporate WAN the paper's deployments ran over. The model
+is intentionally simple — per-link latency plus bytes/bandwidth — because
+the replication experiments care about *how much* is transferred and *when
+links are unavailable*, not about packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReplicationError
+from repro.core.database import NotesDatabase
+from repro.sim.clock import VirtualClock
+
+
+@dataclass
+class NetworkStats:
+    """Cumulative traffic counters (global and per directed link)."""
+
+    bytes_sent: int = 0
+    messages: int = 0
+    by_link: dict = field(default_factory=dict)
+
+    def record(self, src: str, dst: str, nbytes: int) -> None:
+        self.bytes_sent += nbytes
+        self.messages += 1
+        key = (src, dst)
+        sent, count = self.by_link.get(key, (0, 0))
+        self.by_link[key] = (sent + nbytes, count + 1)
+
+
+class Server:
+    """A named host carrying database replicas."""
+
+    def __init__(self, name: str, clock: VirtualClock) -> None:
+        self.name = name
+        self.clock = clock
+        self.databases: dict[str, NotesDatabase] = {}  # replica_id -> db
+        self.up = True
+
+    def add_database(self, db: NotesDatabase) -> NotesDatabase:
+        if db.replica_id in self.databases:
+            raise ReplicationError(
+                f"server {self.name} already holds replica {db.replica_id}"
+            )
+        db.server = self.name
+        self.databases[db.replica_id] = db
+        return db
+
+    def replica_of(self, replica_id: str) -> NotesDatabase | None:
+        return self.databases.get(replica_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Server({self.name!r}, {len(self.databases)} dbs, up={self.up})"
+
+
+@dataclass
+class _Link:
+    latency: float = 0.05
+    bandwidth: float = 1_000_000.0  # bytes per second
+    partitioned: bool = False
+
+
+class SimulatedNetwork:
+    """Registry of servers plus the links between them."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self.servers: dict[str, Server] = {}
+        self._links: dict[tuple[str, str], _Link] = {}
+        self.default_link = _Link()
+        self.stats = NetworkStats()
+
+    # -- membership -----------------------------------------------------
+
+    def add_server(self, name: str) -> Server:
+        if name in self.servers:
+            raise ReplicationError(f"duplicate server name {name!r}")
+        server = Server(name, self.clock)
+        self.servers[name] = server
+        return server
+
+    def server(self, name: str) -> Server:
+        try:
+            return self.servers[name]
+        except KeyError:
+            raise ReplicationError(f"unknown server {name!r}") from None
+
+    # -- link management ----------------------------------------------------
+
+    def set_link(
+        self,
+        a: str,
+        b: str,
+        latency: float | None = None,
+        bandwidth: float | None = None,
+    ) -> None:
+        """Configure the (symmetric) link between two servers."""
+        link = self._link(a, b, create=True)
+        if latency is not None:
+            link.latency = latency
+        if bandwidth is not None:
+            link.bandwidth = bandwidth
+
+    def partition(self, a: str, b: str, partitioned: bool = True) -> None:
+        """Cut (or heal) the link between two servers."""
+        self._link(a, b, create=True).partitioned = partitioned
+
+    def is_reachable(self, a: str, b: str) -> bool:
+        if a == b:
+            return True
+        if not self.server(a).up or not self.server(b).up:
+            return False
+        return not self._link(a, b).partitioned
+
+    def _link(self, a: str, b: str, create: bool = False) -> _Link:
+        key = (min(a, b), max(a, b))
+        link = self._links.get(key)
+        if link is None:
+            if not create:
+                return self.default_link
+            link = _Link(
+                latency=self.default_link.latency,
+                bandwidth=self.default_link.bandwidth,
+            )
+            self._links[key] = link
+        return link
+
+    # -- transfer ---------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> float:
+        """Account a transfer and return its simulated duration in seconds."""
+        if not self.is_reachable(src, dst):
+            raise ReplicationError(f"no route from {src} to {dst}")
+        link = self._link(src, dst)
+        self.stats.record(src, dst, nbytes)
+        return link.latency + (nbytes / link.bandwidth if link.bandwidth else 0.0)

@@ -1,0 +1,349 @@
+"""The replicator: pairwise incremental convergence of two replicas.
+
+One *pass* pulls changes from a source replica into a target replica:
+
+1. Read the target's replication history entry for the source; only notes
+   changed at/after that cutoff are candidates (the incremental scan).
+2. For each candidate document, compare originator ids and ``$Revisions``
+   ancestry against the target's copy: install plain updates, skip already
+   known revisions, and hand genuine divergence to the conflict policy.
+3. Deletion stubs propagate the same way; a stub beats a document revision
+   it supersedes, while a document edited *after* (more revisions than) the
+   deletion survives it.
+4. On success, record the pass in the replication history.
+
+``full_copy`` implements the naive baseline (ship everything every time) and
+``versioning="timestamp"`` the clock-skew-vulnerable ablation; experiment E1
+compares all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReplicationError
+from repro.core.database import ChangeKind, DeletionStub, NotesDatabase
+from repro.core.document import Document
+from repro.replication.conflicts import ConflictPolicy, detect, resolve
+from repro.replication.network import SimulatedNetwork
+from repro.replication.selective import SelectiveReplication
+
+# Safety slack subtracted from the history cutoff so boundary-time changes
+# are re-examined rather than missed (re-examining is idempotent).
+CUTOFF_SLACK = 1e-9
+
+
+@dataclass
+class ReplicationStats:
+    """Outcome of one replication pass (or an accumulation of passes)."""
+
+    docs_examined: int = 0
+    docs_transferred: int = 0
+    docs_skipped: int = 0
+    stubs_transferred: int = 0
+    conflicts: int = 0
+    merges: int = 0
+    lost_updates: int = 0
+    bytes_transferred: int = 0
+    seconds: float = 0.0
+    conflict_unids: list[str] = field(default_factory=list)
+
+    def merge_from(self, other: "ReplicationStats") -> None:
+        self.docs_examined += other.docs_examined
+        self.docs_transferred += other.docs_transferred
+        self.docs_skipped += other.docs_skipped
+        self.stubs_transferred += other.stubs_transferred
+        self.conflicts += other.conflicts
+        self.merges += other.merges
+        self.lost_updates += other.lost_updates
+        self.bytes_transferred += other.bytes_transferred
+        self.seconds += other.seconds
+        self.conflict_unids.extend(other.conflict_unids)
+
+
+_STUB_WIRE_SIZE = 96  # bytes accounted per deletion stub on the wire
+
+
+class Replicator:
+    """Runs replication passes over a simulated network.
+
+    Parameters
+    ----------
+    network:
+        The :class:`SimulatedNetwork` used for reachability and traffic
+        accounting. Optional — pass None for pure in-process replication.
+    conflict_policy:
+        How divergent edits are resolved (default: conflict documents).
+    versioning:
+        ``"oid"`` (sequence numbers + ancestry, the Notes design) or
+        ``"timestamp"`` (modified-time comparison, the ablation that loses
+        updates under clock skew).
+    field_level:
+        When True, a plain update of a document the target already holds
+        transfers only the *items changed since the target's revision*
+        (plus the envelope) instead of the whole note — the R5 field-level
+        replication optimisation. Semantically identical; only the wire
+        accounting and the reconstruction path differ.
+    """
+
+    def __init__(
+        self,
+        network: SimulatedNetwork | None = None,
+        conflict_policy: ConflictPolicy = ConflictPolicy.CONFLICT_DOC,
+        versioning: str = "oid",
+        field_level: bool = False,
+    ) -> None:
+        if versioning not in ("oid", "timestamp"):
+            raise ReplicationError(f"unknown versioning {versioning!r}")
+        self.network = network
+        self.conflict_policy = conflict_policy
+        self.versioning = versioning
+        self.field_level = field_level
+
+    # -- public passes -----------------------------------------------------
+
+    def pull(
+        self,
+        target: NotesDatabase,
+        source: NotesDatabase,
+        selective: SelectiveReplication | None = None,
+    ) -> ReplicationStats:
+        """One incremental pass: bring ``target`` up to date from ``source``."""
+        self._check_pair(source, target)
+        stats = ReplicationStats()
+        cutoff = (
+            target.replication_history.get((source.server, "receive"), 0.0)
+            - CUTOFF_SLACK
+        )
+        docs, stubs = source.changed_since(cutoff)
+        for doc in sorted(docs, key=lambda d: (d.modified, d.unid)):
+            self._consider_document(target, source, doc, selective, stats)
+        for stub in sorted(stubs, key=lambda s: (s.deleted_at, s.unid)):
+            self._consider_stub(target, stub, stats)
+        # The cutoff is compared against the SOURCE's local modification
+        # times on the next pass, so it must be recorded in the source's
+        # clock domain — replicas may have skewed clocks.
+        now = source.clock.now
+        target.replication_history[(source.server, "receive")] = now
+        source.replication_history[(target.server, "send")] = now
+        return stats
+
+    def replicate(
+        self,
+        a: NotesDatabase,
+        b: NotesDatabase,
+        selective_a: SelectiveReplication | None = None,
+        selective_b: SelectiveReplication | None = None,
+    ) -> ReplicationStats:
+        """A full exchange: pull into ``a``, then pull into ``b``.
+
+        ``selective_a`` filters what *a receives*; ``selective_b`` what *b*
+        receives.
+        """
+        stats = self.pull(a, b, selective=selective_a)
+        stats.merge_from(self.pull(b, a, selective=selective_b))
+        return stats
+
+    def full_copy(
+        self, target: NotesDatabase, source: NotesDatabase
+    ) -> ReplicationStats:
+        """Baseline: transfer *every* document regardless of history."""
+        self._check_pair(source, target)
+        stats = ReplicationStats()
+        for doc in source.all_documents():
+            stats.docs_examined += 1
+            self._transfer(source, target, doc, stats)
+            self._install(target, doc, stats)
+        for stub in source.stubs.values():
+            self._consider_stub(target, stub, stats)
+        target.replication_history[(source.server, "receive")] = source.clock.now
+        return stats
+
+    # -- document path ------------------------------------------------------
+
+    def _consider_document(
+        self,
+        target: NotesDatabase,
+        source: NotesDatabase,
+        doc: Document,
+        selective: SelectiveReplication | None,
+        stats: ReplicationStats,
+    ) -> None:
+        stats.docs_examined += 1
+        if selective is not None:
+            if not selective.accepts(doc, db=source):
+                stats.docs_skipped += 1
+                return
+            doc = selective.prepare(doc)
+        # A deletion stub on the target beats an older incoming revision.
+        stub = target.stubs.get(doc.unid)
+        if stub is not None:
+            if self._stub_beats_doc(stub, doc):
+                stats.docs_skipped += 1
+                return
+        local = target.try_get(doc.unid)
+        if local is None:
+            self._transfer(source, target, doc, stats)
+            self._install(target, doc, stats)
+            return
+        relation = self._relation(local, doc)
+        if relation == "same" or relation == "local_newer":
+            stats.docs_skipped += 1
+            return
+        if relation == "incoming_newer":
+            if self.field_level:
+                self._install_field_delta(source, target, local, doc, stats)
+            else:
+                self._transfer(source, target, doc, stats)
+                self._install(target, doc, stats)
+            return
+        self._transfer(source, target, doc, stats)
+        outcome = resolve(target, local, doc.copy(), self.conflict_policy)
+        stats.conflicts += 1
+        if outcome.merged:
+            stats.merges += 1
+        if outcome.lost_update:
+            stats.lost_updates += 1
+        if outcome.conflict_doc_unid is not None:
+            stats.conflict_unids.append(outcome.conflict_doc_unid)
+
+    def _relation(self, local: Document, incoming: Document) -> str:
+        if self.versioning == "oid":
+            return detect(local, incoming)
+        # Timestamp ablation: whoever was modified later wins outright —
+        # concurrent edits are never recognised as conflicts.
+        if incoming.modified > local.modified:
+            return "incoming_newer"
+        if incoming.modified < local.modified:
+            return "local_newer"
+        return "same" if local.oid == incoming.oid else "incoming_newer"
+
+    def _install(
+        self, target: NotesDatabase, doc: Document, stats: ReplicationStats
+    ) -> None:
+        target.raw_put(doc.copy(), ChangeKind.REPLACE)
+        stats.docs_transferred += 1
+
+    _ENVELOPE_WIRE_SIZE = 160  # unid + oid + revisions + author trail
+
+    def _install_field_delta(
+        self,
+        source: NotesDatabase,
+        target: NotesDatabase,
+        local: Document,
+        incoming: Document,
+        stats: ReplicationStats,
+    ) -> None:
+        """Ship only the items changed since the target's revision.
+
+        ``incoming`` descends from ``local`` (the caller checked), so every
+        item whose change stamp is newer than ``local``'s revision stamp is
+        exactly the delta. The target document is *reconstructed* from its
+        local copy plus the delta — proving the delta suffices — and must
+        equal the source revision item-for-item.
+        """
+        base_stamp = tuple(local.seq_time)
+        changed = {
+            name
+            for name, stamp in incoming.item_times.items()
+            if tuple(stamp) > base_stamp
+        }
+        # Items present on either side without a change stamp (constructed
+        # outside the normal update path) are shipped defensively.
+        for item in incoming:
+            if item.name not in incoming.item_times and (
+                local.item(item.name) != item
+            ):
+                changed.add(item.name)
+        delta_bytes = self._ENVELOPE_WIRE_SIZE
+        rebuilt = local.copy()
+        for name in changed:
+            item = incoming.item(name)
+            if item is None:
+                if name in rebuilt:
+                    rebuilt.remove_item(name)
+            else:
+                rebuilt.set(name, item)
+                value = item.value
+                if isinstance(value, str):
+                    delta_bytes += len(name) + len(value) + 8
+                elif isinstance(value, list):
+                    delta_bytes += len(name) + 8 + sum(
+                        len(e) if isinstance(e, str) else 8 for e in value
+                    )
+                elif isinstance(value, dict):  # attachments: base64 payload
+                    delta_bytes += len(name) + 8 + sum(
+                        len(v) if isinstance(v, str) else 8
+                        for v in value.values()
+                    )
+                else:
+                    delta_bytes += len(name) + 16
+            if name in incoming.item_times:
+                rebuilt.item_times[name] = tuple(incoming.item_times[name])
+        rebuilt.seq = incoming.seq
+        rebuilt.seq_time = tuple(incoming.seq_time)
+        rebuilt.modified = incoming.modified
+        rebuilt.created = incoming.created
+        rebuilt.parent_unid = incoming.parent_unid
+        rebuilt.revisions = [tuple(s) for s in incoming.revisions]
+        rebuilt.updated_by = list(incoming.updated_by)
+        self._account(target, delta_bytes, stats, src=source.server)
+        target.raw_put(rebuilt, ChangeKind.REPLACE)
+        stats.docs_transferred += 1
+
+    # -- stub path ---------------------------------------------------------
+
+    def _consider_stub(
+        self, target: NotesDatabase, stub: DeletionStub, stats: ReplicationStats
+    ) -> None:
+        local = target.try_get(stub.unid)
+        if local is not None and not self._stub_beats_doc(stub, local):
+            return  # the document was revised past the deletion; it survives
+        existing = target.stubs.get(stub.unid)
+        if existing is not None and tuple(existing.seq_time) >= tuple(stub.seq_time):
+            return
+        self._account(target, _STUB_WIRE_SIZE, stats)
+        target.raw_delete(stub)
+        stats.stubs_transferred += 1
+
+    @staticmethod
+    def _stub_beats_doc(stub: DeletionStub, doc: Document) -> bool:
+        """Deletion-wins rule: the stub supersedes revisions it has seen."""
+        return (stub.seq, tuple(stub.seq_time)) > (doc.seq, tuple(doc.seq_time))
+
+    # -- transfer accounting -------------------------------------------------
+
+    def _transfer(
+        self,
+        source: NotesDatabase,
+        target: NotesDatabase,
+        doc: Document,
+        stats: ReplicationStats,
+    ) -> None:
+        self._account(target, doc.size(), stats, src=source.server)
+
+    def _account(
+        self,
+        target: NotesDatabase,
+        nbytes: int,
+        stats: ReplicationStats,
+        src: str | None = None,
+    ) -> None:
+        stats.bytes_transferred += nbytes
+        if self.network is not None and src is not None:
+            stats.seconds += self.network.transfer(src, target.server, nbytes)
+
+    # -- guards -----------------------------------------------------------
+
+    def _check_pair(self, source: NotesDatabase, target: NotesDatabase) -> None:
+        if source.replica_id != target.replica_id:
+            raise ReplicationError(
+                f"replica ids differ: {source.replica_id} vs {target.replica_id}"
+            )
+        if source is target:
+            raise ReplicationError("cannot replicate a database with itself")
+        if self.network is not None:
+            if not self.network.is_reachable(source.server, target.server):
+                raise ReplicationError(
+                    f"{source.server} unreachable from {target.server}"
+                )

@@ -1,0 +1,129 @@
+"""Replication topologies: which servers replicate with which, how often.
+
+Domino deployments wired servers into hub-and-spoke, ring or mesh patterns
+through connection documents. A topology here is a set of (server, server,
+interval) edges plus builders for the classic shapes; the scheduler turns
+edges into recurring replication events. Experiment E4 compares the shapes'
+convergence behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReplicationError
+
+
+@dataclass(frozen=True)
+class ConnectionDoc:
+    """One scheduled replication connection (symmetric exchange).
+
+    ``selective_a``/``selective_b`` are optional selection-formula sources
+    restricting what each endpoint *receives* over this connection — the
+    per-connection replication formulas Domino connection documents
+    carried (e.g. a branch server only pulling its own region's docs).
+    """
+
+    server_a: str
+    server_b: str
+    interval: float  # seconds between scheduled exchanges
+    selective_a: str | None = None  # filters what server_a receives
+    selective_b: str | None = None  # filters what server_b receives
+
+    def __post_init__(self) -> None:
+        if self.server_a == self.server_b:
+            raise ReplicationError("connection must join two distinct servers")
+        if self.interval <= 0:
+            raise ReplicationError(f"bad interval {self.interval!r}")
+
+
+class ReplicationTopology:
+    """A named set of connection documents."""
+
+    def __init__(self, name: str = "custom") -> None:
+        self.name = name
+        self.connections: list[ConnectionDoc] = []
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        interval: float = 3600.0,
+        selective_a: str | None = None,
+        selective_b: str | None = None,
+    ) -> ConnectionDoc:
+        doc = ConnectionDoc(a, b, interval, selective_a, selective_b)
+        self.connections.append(doc)
+        return doc
+
+    @property
+    def servers(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for connection in self.connections:
+            seen.setdefault(connection.server_a)
+            seen.setdefault(connection.server_b)
+        return list(seen)
+
+    def neighbours(self, server: str) -> list[str]:
+        out = []
+        for connection in self.connections:
+            if connection.server_a == server:
+                out.append(connection.server_b)
+            elif connection.server_b == server:
+                out.append(connection.server_a)
+        return out
+
+    def diameter(self) -> int:
+        """Longest shortest-path between any two servers (in hops)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.servers)
+        for connection in self.connections:
+            graph.add_edge(connection.server_a, connection.server_b)
+        if not nx.is_connected(graph):
+            raise ReplicationError("topology is not connected")
+        return nx.diameter(graph)
+
+    # -- builders ---------------------------------------------------------
+
+    @classmethod
+    def ring(cls, servers: list[str], interval: float = 3600.0) -> "ReplicationTopology":
+        if len(servers) < 2:
+            raise ReplicationError("ring needs at least 2 servers")
+        topology = cls("ring")
+        for index, server in enumerate(servers):
+            topology.connect(server, servers[(index + 1) % len(servers)], interval)
+        if len(servers) == 2:
+            topology.connections = topology.connections[:1]
+        return topology
+
+    @classmethod
+    def hub_spoke(
+        cls, hub: str, spokes: list[str], interval: float = 3600.0
+    ) -> "ReplicationTopology":
+        if not spokes:
+            raise ReplicationError("hub-and-spoke needs at least one spoke")
+        topology = cls("hub_spoke")
+        for spoke in spokes:
+            topology.connect(hub, spoke, interval)
+        return topology
+
+    @classmethod
+    def mesh(cls, servers: list[str], interval: float = 3600.0) -> "ReplicationTopology":
+        if len(servers) < 2:
+            raise ReplicationError("mesh needs at least 2 servers")
+        topology = cls("mesh")
+        for index, server in enumerate(servers):
+            for other in servers[index + 1 :]:
+                topology.connect(server, other, interval)
+        return topology
+
+    @classmethod
+    def chain(cls, servers: list[str], interval: float = 3600.0) -> "ReplicationTopology":
+        if len(servers) < 2:
+            raise ReplicationError("chain needs at least 2 servers")
+        topology = cls("chain")
+        for left, right in zip(servers, servers[1:]):
+            topology.connect(left, right, interval)
+        return topology

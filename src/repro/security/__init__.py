@@ -1,0 +1,39 @@
+"""The Notes security model: ACLs, reader/author fields, signing, sealing.
+
+Layered exactly as the paper describes: the database ACL gates what a user
+may do to the database as a whole (seven levels from No Access to Manager,
+plus roles); READERS/AUTHORS items refine access *per document*; signatures
+authenticate who saved a note; sealing hides item values from anyone
+without the key.
+
+Signing and sealing here are functional stand-ins (HMAC digests and a
+keystream XOR), not real cryptography — the database-visible behaviour
+(tamper detection, opaque fields) is what the experiments need.
+"""
+
+from repro.security.acl import (
+    AccessControlList,
+    AclEntry,
+    AclLevel,
+)
+from repro.security.names import (
+    NotesName,
+    expand_groups,
+    name_matches,
+)
+from repro.security.sealing import seal_items, unseal_items
+from repro.security.signing import IdVault, sign_document, verify_document
+
+__all__ = [
+    "AccessControlList",
+    "AclEntry",
+    "AclLevel",
+    "IdVault",
+    "NotesName",
+    "expand_groups",
+    "name_matches",
+    "seal_items",
+    "sign_document",
+    "unseal_items",
+    "verify_document",
+]

@@ -1,0 +1,199 @@
+"""Database access control lists.
+
+Seven levels (No Access → Manager), per-entry roles and flags, group and
+wildcard entries, and the Notes resolution rule: an exact entry for the user
+wins outright; otherwise the user gets the *highest* level among matching
+group/wildcard entries; otherwise the ``-Default-`` entry applies.
+
+Document-level refinement (READERS/AUTHORS items) composes with the ACL:
+an Editor still cannot read a document whose readers list excludes them,
+and an Author can edit only documents they authored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterable, Mapping
+
+from repro.errors import SecurityError
+from repro.core.document import Document
+from repro.security.names import name_matches, user_in_names
+
+DEFAULT_ENTRY = "-Default-"
+
+
+class AclLevel(IntEnum):
+    NO_ACCESS = 0
+    DEPOSITOR = 1
+    READER = 2
+    AUTHOR = 3
+    EDITOR = 4
+    DESIGNER = 5
+    MANAGER = 6
+
+
+@dataclass
+class AclEntry:
+    """One ACL line: a name (user, group or wildcard) with level + options."""
+
+    name: str
+    level: AclLevel
+    roles: set[str] = field(default_factory=set)
+    can_delete_documents: bool = True
+    can_create_documents: bool = True
+
+
+class AccessControlList:
+    """The ACL of one database (replicated with it in real Domino)."""
+
+    def __init__(
+        self,
+        default_level: AclLevel = AclLevel.NO_ACCESS,
+        groups: Mapping[str, Iterable[str]] | None = None,
+    ) -> None:
+        self._entries: dict[str, AclEntry] = {}
+        self.groups: dict[str, list[str]] = {
+            name: list(members) for name, members in (groups or {}).items()
+        }
+        # Resolution cache (user -> effective entry), invalidated on any
+        # entry or group change — group/wildcard matching is too costly to
+        # repeat per document access.
+        self._cache: dict[str, AclEntry] = {}
+        self.add(DEFAULT_ENTRY, default_level)
+
+    # -- entry management --------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        level: AclLevel,
+        roles: Iterable[str] = (),
+        can_delete_documents: bool = True,
+        can_create_documents: bool = True,
+    ) -> AclEntry:
+        """Add or replace the entry for ``name``."""
+        entry = AclEntry(
+            name=name,
+            level=AclLevel(level),
+            roles={role.strip("[]") for role in roles},
+            can_delete_documents=can_delete_documents,
+            can_create_documents=can_create_documents,
+        )
+        self._entries[name.lower()] = entry
+        self._cache.clear()
+        return entry
+
+    def remove(self, name: str) -> None:
+        if name.lower() == DEFAULT_ENTRY.lower():
+            raise SecurityError("the -Default- entry cannot be removed")
+        if name.lower() not in self._entries:
+            raise SecurityError(f"no ACL entry {name!r}")
+        del self._entries[name.lower()]
+        self._cache.clear()
+
+    def entries(self) -> list[AclEntry]:
+        return list(self._entries.values())
+
+    def define_group(self, name: str, members: Iterable[str]) -> None:
+        self.groups[name] = list(members)
+        self._cache.clear()
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(self, user: str) -> AclEntry:
+        """The effective entry for ``user`` under Notes precedence rules."""
+        cached = self._cache.get(user.lower())
+        if cached is not None:
+            return cached
+        entry = self._resolve_uncached(user)
+        self._cache[user.lower()] = entry
+        return entry
+
+    def _resolve_uncached(self, user: str) -> AclEntry:
+        exact = self._entries.get(user.lower())
+        if exact is not None:
+            return exact
+        candidates: list[AclEntry] = []
+        for entry in self._entries.values():
+            if entry.name == DEFAULT_ENTRY:
+                continue
+            if self._entry_covers(entry, user):
+                candidates.append(entry)
+        if candidates:
+            best = max(candidates, key=lambda e: e.level)
+            # Union the roles of every matching entry at the winning level.
+            roles = set()
+            for entry in candidates:
+                if entry.level == best.level:
+                    roles |= entry.roles
+            merged = AclEntry(
+                name=best.name,
+                level=best.level,
+                roles=roles,
+                can_delete_documents=best.can_delete_documents,
+                can_create_documents=best.can_create_documents,
+            )
+            return merged
+        return self._entries[DEFAULT_ENTRY.lower()]
+
+    def _entry_covers(self, entry: AclEntry, user: str) -> bool:
+        if entry.name in self.groups:
+            return user_in_names(user, [entry.name], groups=self.groups)
+        if "*" in entry.name:
+            return name_matches(user, entry.name)
+        return name_matches(user, entry.name)
+
+    def level_of(self, user: str) -> AclLevel:
+        return self.resolve(user).level
+
+    def roles_of(self, user: str) -> set[str]:
+        return set(self.resolve(user).roles)
+
+    # -- permission checks (composed with document-level fields) ------------
+
+    def can_read(self, user: str, doc: Document) -> bool:
+        entry = self.resolve(user)
+        if entry.level < AclLevel.READER:
+            return False
+        return self._passes_reader_fields(user, entry, doc)
+
+    def can_create(self, user: str) -> bool:
+        entry = self.resolve(user)
+        if entry.level >= AclLevel.EDITOR:
+            return True
+        return entry.level >= AclLevel.AUTHOR and entry.can_create_documents
+
+    def can_update(self, user: str, doc: Document) -> bool:
+        entry = self.resolve(user)
+        if entry.level < AclLevel.AUTHOR:
+            return False
+        if not self._passes_reader_fields(user, entry, doc):
+            return False
+        if entry.level >= AclLevel.EDITOR:
+            return True
+        # Authors may edit documents they authored: either named in an
+        # AUTHORS item or recorded as the original creator.
+        authors = doc.authors
+        if authors and user_in_names(user, authors, self.groups, entry.roles):
+            return True
+        return bool(doc.updated_by) and name_matches(user, doc.updated_by[0])
+
+    def can_delete(self, user: str, doc: Document) -> bool:
+        entry = self.resolve(user)
+        if not entry.can_delete_documents:
+            return False
+        return self.can_update(user, doc) or entry.level >= AclLevel.MANAGER
+
+    def _passes_reader_fields(
+        self, user: str, entry: AclEntry, doc: Document
+    ) -> bool:
+        readers = doc.readers
+        if readers is None:
+            return True
+        # Authors named on the document implicitly retain read access.
+        allowed = list(readers) + list(doc.authors)
+        return user_in_names(user, allowed, self.groups, entry.roles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AccessControlList({len(self._entries)} entries)"

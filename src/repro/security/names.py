@@ -1,0 +1,136 @@
+"""Hierarchical names, wildcard matching, and group expansion.
+
+Notes names are hierarchical: canonical form ``CN=Alice Smith/OU=Sales/
+O=Acme`` abbreviates to ``Alice Smith/Sales/Acme``. ACL entries and reader
+fields may hold individual names, group names, or wildcard patterns such as
+``*/Sales/Acme`` (anyone in the Sales organisational unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+_PREFIXES = ("CN=", "OU=", "O=", "C=")
+
+
+def _strip_prefix(component: str) -> str:
+    upper = component.upper()
+    for prefix in _PREFIXES:
+        if upper.startswith(prefix):
+            return component[len(prefix):]
+    return component
+
+
+@dataclass(frozen=True)
+class NotesName:
+    """A parsed hierarchical name."""
+
+    components: tuple[str, ...]
+
+    @classmethod
+    def parse(cls, raw: str) -> "NotesName":
+        parts = [part.strip() for part in raw.split("/") if part.strip()]
+        return cls(tuple(_strip_prefix(part) for part in parts))
+
+    @property
+    def common(self) -> str:
+        """The common-name component (the leftmost)."""
+        return self.components[0] if self.components else ""
+
+    @property
+    def abbreviated(self) -> str:
+        return "/".join(self.components)
+
+    @property
+    def canonical(self) -> str:
+        if not self.components:
+            return ""
+        labels = ["CN"] + ["OU"] * max(0, len(self.components) - 2) + (
+            ["O"] if len(self.components) > 1 else []
+        )
+        return "/".join(
+            f"{label}={part}" for label, part in zip(labels, self.components)
+        )
+
+    def matches(self, pattern: str) -> bool:
+        """Whether this name matches an ACL pattern.
+
+        Patterns are either plain names (case-insensitive component-wise
+        comparison) or wildcards like ``*/Sales/Acme`` matching any name
+        whose suffix components agree.
+        """
+        wanted = NotesName.parse(pattern)
+        if wanted.components and wanted.components[0] == "*":
+            suffix = wanted.components[1:]
+            if len(suffix) > len(self.components):
+                return False
+            mine = self.components[len(self.components) - len(suffix):]
+            return all(
+                a.lower() == b.lower() for a, b in zip(mine, suffix)
+            )
+        if len(wanted.components) != len(self.components):
+            return False
+        return all(
+            a.lower() == b.lower()
+            for a, b in zip(self.components, wanted.components)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.abbreviated
+
+
+def name_matches(user: str, pattern: str) -> bool:
+    """Convenience wrapper: does ``user`` match ``pattern``?"""
+    return NotesName.parse(user).matches(pattern)
+
+
+def expand_groups(
+    names: Iterable[str], groups: Mapping[str, Iterable[str]], _depth: int = 0
+) -> set[str]:
+    """Flatten group names into member names (nested groups allowed).
+
+    Cycles are tolerated: expansion is capped at a conservative depth.
+    Non-group names pass through unchanged.
+    """
+    result: set[str] = set()
+    if _depth > 16:
+        return result
+    for name in names:
+        members = _lookup_group(name, groups)
+        if members is None:
+            result.add(name)
+        else:
+            result |= expand_groups(members, groups, _depth + 1)
+    return result
+
+
+def _lookup_group(name: str, groups: Mapping[str, Iterable[str]]):
+    for group_name, members in groups.items():
+        if group_name.lower() == name.lower():
+            return members
+    return None
+
+
+def user_in_names(
+    user: str,
+    names: Iterable[str],
+    groups: Mapping[str, Iterable[str]] | None = None,
+    roles: Iterable[str] = (),
+) -> bool:
+    """Does ``user`` match any entry in ``names``?
+
+    Entries may be user names, wildcard patterns, group names (resolved via
+    ``groups``) or role names in brackets (``[Moderators]``) matched against
+    the caller's resolved ACL ``roles``.
+    """
+    role_set = {role.strip("[]").lower() for role in roles}
+    direct: list[str] = []
+    for name in names:
+        if name.startswith("[") and name.endswith("]"):
+            if name.strip("[]").lower() in role_set:
+                return True
+        else:
+            direct.append(name)
+    expanded = expand_groups(direct, groups or {})
+    return any(name_matches(user, pattern) for pattern in expanded)

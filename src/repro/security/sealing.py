@@ -1,0 +1,89 @@
+"""Field sealing: hide item values from anyone without the key.
+
+Stands in for Notes field encryption with "encryption keys" distributed to
+authorised users. The transform is a deterministic keystream XOR — **not
+cryptography** — chosen so the experiments see the real behaviour: sealed
+items are opaque, survive replication byte-for-byte, and unseal only with
+the right key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import SecurityError
+from repro.core.document import Document
+from repro.core.items import ItemType
+
+SEALED_PREFIX = "$Sealed."
+KEYCHECK_SUFFIX = ".check"
+
+
+def _keystream(key: str, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    seed = key.encode()
+    while sum(len(block) for block in blocks) < length:
+        blocks.append(hashlib.sha256(seed + counter.to_bytes(4, "little")).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, key: str) -> bytes:
+    stream = _keystream(key, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def _key_check(key: str) -> str:
+    return hashlib.sha256(b"check:" + key.encode()).hexdigest()[:16]
+
+
+def seal_items(doc: Document, names: list[str], key: str) -> None:
+    """Replace each named item with an opaque ``$Sealed.<name>`` pair."""
+    import json
+
+    for name in names:
+        item = doc.item(name)
+        if item is None:
+            raise SecurityError(f"cannot seal missing item {name!r}")
+        payload = json.dumps([item.type.value, item.value]).encode()
+        cipher = _xor(payload, key).hex()
+        doc.remove_item(name)
+        doc.set(SEALED_PREFIX + name, cipher)
+        doc.set(SEALED_PREFIX + name + KEYCHECK_SUFFIX, _key_check(key))
+
+
+def sealed_item_names(doc: Document) -> list[str]:
+    """Names of items currently sealed inside ``doc``."""
+    return [
+        name[len(SEALED_PREFIX):]
+        for name in doc.item_names
+        if name.startswith(SEALED_PREFIX) and not name.endswith(KEYCHECK_SUFFIX)
+    ]
+
+
+def unseal_items(doc: Document, key: str, names: list[str] | None = None) -> list[str]:
+    """Restore sealed items using ``key``; returns the names restored.
+
+    Raises :class:`SecurityError` when the key does not match.
+    """
+    import json
+
+    targets = names if names is not None else sealed_item_names(doc)
+    restored = []
+    for name in targets:
+        cipher_name = SEALED_PREFIX + name
+        check_name = cipher_name + KEYCHECK_SUFFIX
+        cipher = doc.get(cipher_name)
+        if cipher is None:
+            raise SecurityError(f"item {name!r} is not sealed")
+        if doc.get(check_name) != _key_check(key):
+            raise SecurityError(f"wrong key for sealed item {name!r}")
+        payload = _xor(bytes.fromhex(cipher), key)
+        type_value, value = json.loads(payload.decode())
+        doc.remove_item(cipher_name)
+        if check_name in doc:
+            doc.remove_item(check_name)
+        doc.set(name, value, ItemType(type_value))
+        restored.append(name)
+    return restored

@@ -1,0 +1,84 @@
+"""Document signing: tamper-evident author attestation.
+
+Real Notes signs with the RSA key in the user's ID file. Here an
+:class:`IdVault` holds a per-user secret and signatures are HMAC digests
+over a canonical serialization of the signed items — the database-visible
+contract (verify detects any item change or signer mismatch) is identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import secrets
+
+from repro.errors import SecurityError
+from repro.core.document import Document
+
+SIGNATURE_ITEM = "$Signature"
+SIGNER_ITEM = "$Signer"
+
+
+class IdVault:
+    """Holds the signing secret for each registered user."""
+
+    def __init__(self) -> None:
+        self._secrets: dict[str, bytes] = {}
+
+    def register(self, user: str, secret: bytes | None = None) -> bytes:
+        """Create (or install) the secret for ``user``; returns it."""
+        if secret is None:
+            secret = secrets.token_bytes(32)
+        self._secrets[user.lower()] = secret
+        return secret
+
+    def secret_for(self, user: str) -> bytes:
+        try:
+            return self._secrets[user.lower()]
+        except KeyError:
+            raise SecurityError(f"no ID registered for {user!r}") from None
+
+    def __contains__(self, user: str) -> bool:
+        return user.lower() in self._secrets
+
+
+def _canonical_payload(doc: Document) -> bytes:
+    """Stable bytes over every non-signature item, sorted by name."""
+    body = {
+        item.name: [item.type.value, item.value]
+        for item in doc
+        if item.name not in (SIGNATURE_ITEM, SIGNER_ITEM)
+    }
+    return json.dumps(body, sort_keys=True).encode()
+
+
+def sign_document(doc: Document, user: str, vault: IdVault) -> str:
+    """Sign ``doc`` as ``user``; stores $Signer/$Signature items in place.
+
+    Returns the signature hex digest.
+    """
+    secret = vault.secret_for(user)
+    digest = hmac.new(
+        secret, user.lower().encode() + b"\x00" + _canonical_payload(doc),
+        hashlib.sha256,
+    ).hexdigest()
+    doc.set(SIGNER_ITEM, user)
+    doc.set(SIGNATURE_ITEM, digest)
+    return digest
+
+
+def verify_document(doc: Document, vault: IdVault) -> bool:
+    """Whether the stored signature matches the current items and signer."""
+    signer = doc.get(SIGNER_ITEM)
+    signature = doc.get(SIGNATURE_ITEM)
+    if not signer or not signature:
+        return False
+    if signer not in vault:
+        return False
+    expected = hmac.new(
+        vault.secret_for(signer),
+        signer.lower().encode() + b"\x00" + _canonical_payload(doc),
+        hashlib.sha256,
+    ).hexdigest()
+    return hmac.compare_digest(expected, signature)

@@ -1,0 +1,27 @@
+"""Deterministic simulation substrate: virtual time, events, workloads.
+
+Everything in the repro library that needs a notion of "now" (sequence-number
+timestamps, replication history, mail delivery latency, cluster failover
+timers) takes a :class:`~repro.sim.clock.VirtualClock` so that experiments are
+fully deterministic and independent of wall-clock speed.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventScheduler, RepeatingEvent, ScheduledEvent
+from repro.sim.workload import (
+    DiscussionWorkload,
+    UpdateWorkload,
+    WorkloadStats,
+    zipf_choice,
+)
+
+__all__ = [
+    "VirtualClock",
+    "EventScheduler",
+    "RepeatingEvent",
+    "ScheduledEvent",
+    "DiscussionWorkload",
+    "UpdateWorkload",
+    "WorkloadStats",
+    "zipf_choice",
+]

@@ -1,0 +1,64 @@
+"""A deterministic virtual clock.
+
+The clock counts seconds as a float and only moves when told to. A single
+clock instance is shared by every component of one simulated deployment so
+that "timestamps" (note sequence times, replication-history entries, mail
+delivery times) are mutually comparable and reproducible.
+
+The clock also hands out strictly monotonic *ticks*: two events that occur at
+the same virtual second still receive distinct, ordered tick values. Notes
+replication relies on this to break ties deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Deterministic simulated time source.
+
+    Parameters
+    ----------
+    start:
+        Initial virtual time in seconds. Defaults to 0.0.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+        self._tick = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise SimulationError(f"cannot advance clock by negative {seconds!r}s")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to the absolute instant ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now} to {when}"
+            )
+        self._now = float(when)
+        return self._now
+
+    def tick(self) -> int:
+        """Return a strictly monotonic integer, unique per call."""
+        self._tick += 1
+        return self._tick
+
+    def timestamp(self) -> tuple[float, int]:
+        """Return an orderable (time, tick) pair unique per call."""
+        return (self._now, self.tick())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now}, ticks={self._tick})"

@@ -1,0 +1,134 @@
+"""Discrete-event scheduler driving a :class:`~repro.sim.clock.VirtualClock`.
+
+Components register callbacks for future virtual instants; running the
+scheduler advances the shared clock from event to event. Used by the
+replication scheduler, the mail router and the cluster failover experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event in the scheduler queue, ordered by (time, seq)."""
+
+    when: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when its time comes."""
+        self.cancelled = True
+
+
+class RepeatingEvent:
+    """Handle for a repeating schedule created by :meth:`EventScheduler.every`."""
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.current: ScheduledEvent | None = None
+
+    def cancel(self) -> None:
+        """Stop the series: the pending occurrence and all future ones."""
+        self.cancelled = True
+        if self.current is not None:
+            self.current.cancel()
+
+
+class EventScheduler:
+    """A priority-queue discrete-event loop over a shared virtual clock."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self._queue: list[ScheduledEvent] = []
+        self._seq = 0
+        self.executed = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def at(self, when: float, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` for the absolute virtual instant ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before now={self.clock.now}"
+            )
+        self._seq += 1
+        event = ScheduledEvent(when=when, seq=self._seq, action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` for ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.at(self.clock.now + delay, action, label)
+
+    def every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        label: str = "",
+        start_delay: float | None = None,
+    ) -> "RepeatingEvent":
+        """Schedule ``action`` to repeat every ``interval`` seconds.
+
+        Returns a :class:`RepeatingEvent` handle whose ``cancel()`` stops
+        the series permanently.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval {interval!r}")
+        handle = RepeatingEvent()
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            action()
+            if not handle.cancelled:
+                handle.current = self.after(interval, fire, label)
+
+        delay = interval if start_delay is None else start_delay
+        handle.current = self.after(delay, fire, label)
+        return handle
+
+    def run_until(self, when: float) -> int:
+        """Execute all events up to and including instant ``when``.
+
+        Returns the number of events executed. The clock ends exactly at
+        ``when`` even if the queue empties earlier.
+        """
+        executed = 0
+        while self._queue and self._queue[0].when <= when:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.action()
+            executed += 1
+            self.executed += 1
+        self.clock.advance_to(max(when, self.clock.now))
+        return executed
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely; guard against runaway loops."""
+        executed = 0
+        while self._queue:
+            if executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.action()
+            executed += 1
+            self.executed += 1
+        return executed

@@ -1,0 +1,182 @@
+"""Synthetic groupware workload generators.
+
+The paper's subject system was exercised by discussion databases, mail files
+and workflow applications. These generators reproduce those access patterns
+against any object implementing the small ``NotesDatabase`` protocol
+(``create`` / ``update`` / ``delete`` / ``unids``): skewed document updates
+(Zipf-distributed hot spots) and discussion-thread growth (topics plus
+response hierarchies).
+
+All randomness flows from a caller-provided :class:`random.Random` so runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def zipf_choice(rng: random.Random, population: Sequence, theta: float):
+    """Pick one element with Zipf(theta) skew; theta=0 is uniform.
+
+    The first elements of ``population`` are the hottest. A small population
+    is handled exactly (no rejection sampling); cost is O(n) per call which
+    is fine for the document-set sizes used in the experiments.
+    """
+    n = len(population)
+    if n == 0:
+        raise IndexError("cannot choose from an empty population")
+    if theta <= 0:
+        return population[rng.randrange(n)]
+    weights = [1.0 / ((i + 1) ** theta) for i in range(n)]
+    total = sum(weights)
+    point = rng.random() * total
+    acc = 0.0
+    for item, weight in zip(population, weights):
+        acc += weight
+        if point <= acc:
+            return item
+    return population[-1]
+
+
+@dataclass
+class WorkloadStats:
+    """Operation counts produced by a workload run."""
+
+    creates: int = 0
+    updates: int = 0
+    deletes: int = 0
+    reads: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.creates + self.updates + self.deletes + self.reads
+
+
+@dataclass
+class UpdateWorkload:
+    """Skewed create/update/delete mix against one database replica.
+
+    Parameters
+    ----------
+    db:
+        The target database (a ``repro.core.NotesDatabase``).
+    rng:
+        Seeded random source.
+    author:
+        Name recorded on every touched document.
+    theta:
+        Zipf skew for choosing update/delete victims. ``0`` = uniform;
+        ``~0.99`` models a hot-spot workload.
+    mix:
+        (create, update, delete) probabilities; normalised internally.
+    """
+
+    db: object
+    rng: random.Random
+    author: str = "workload/Acme"
+    theta: float = 0.0
+    mix: tuple[float, float, float] = (0.2, 0.7, 0.1)
+    stats: WorkloadStats = field(default_factory=WorkloadStats)
+    _counter: int = 0
+
+    def step(self) -> str:
+        """Perform one operation; returns 'create' | 'update' | 'delete'."""
+        create_p, update_p, delete_p = self.mix
+        total = create_p + update_p + delete_p
+        point = self.rng.random() * total
+        unids = self.db.unids()
+        if point < create_p or not unids:
+            self._create()
+            return "create"
+        if point < create_p + update_p:
+            self._update(unids)
+            return "update"
+        self._delete(unids)
+        return "delete"
+
+    def run(self, steps: int) -> WorkloadStats:
+        """Perform ``steps`` operations and return cumulative stats."""
+        for _ in range(steps):
+            self.step()
+        return self.stats
+
+    def _create(self) -> None:
+        self._counter += 1
+        self.db.create(
+            {
+                "Form": "Memo",
+                "Subject": f"memo {self._counter} from {self.author}",
+                "Body": f"body text {self.rng.random():.6f}",
+                "Categories": self.rng.choice(["sales", "eng", "hr", "legal"]),
+            },
+            author=self.author,
+        )
+        self.stats.creates += 1
+
+    def _update(self, unids: Sequence) -> None:
+        unid = zipf_choice(self.rng, unids, self.theta)
+        self.db.update(
+            unid,
+            {"Body": f"edited {self.rng.random():.6f}", "EditedBy": self.author},
+            author=self.author,
+        )
+        self.stats.updates += 1
+
+    def _delete(self, unids: Sequence) -> None:
+        unid = zipf_choice(self.rng, unids, self.theta)
+        self.db.delete(unid, author=self.author)
+        self.stats.deletes += 1
+
+
+@dataclass
+class DiscussionWorkload:
+    """Topic/response discussion-database workload.
+
+    Creates main topics and attaches response documents to random existing
+    documents, producing the response hierarchies that Notes discussion
+    templates (and view navigation) are built around.
+    """
+
+    db: object
+    rng: random.Random
+    author: str = "poster/Acme"
+    response_bias: float = 0.7
+    stats: WorkloadStats = field(default_factory=WorkloadStats)
+    _topic_counter: int = 0
+
+    def step(self) -> str:
+        """Create either a main topic or a response; returns which."""
+        unids = self.db.unids()
+        if unids and self.rng.random() < self.response_bias:
+            parent = self.rng.choice(unids)
+            self.db.create(
+                {
+                    "Form": "Response",
+                    "Subject": f"re: {self.rng.randrange(10_000)}",
+                    "Body": "I respectfully disagree.",
+                },
+                author=self.author,
+                parent=parent,
+            )
+            self.stats.creates += 1
+            return "response"
+        self._topic_counter += 1
+        self.db.create(
+            {
+                "Form": "MainTopic",
+                "Subject": f"Topic {self._topic_counter}",
+                "Body": "Opening statement.",
+                "Categories": self.rng.choice(["general", "random", "help"]),
+            },
+            author=self.author,
+        )
+        self.stats.creates += 1
+        return "topic"
+
+    def run(self, steps: int) -> WorkloadStats:
+        for _ in range(steps):
+            self.step()
+        return self.stats

@@ -1,0 +1,28 @@
+"""Storage substrate: pages, buffer pool, write-ahead log, B-tree, engine.
+
+This package plays the role the NSF on-disk layer plays for Domino: it
+stores variable-length note records in slotted pages behind an LRU buffer
+pool, makes committed updates durable through a write-ahead log with
+checkpoints and crash recovery, and provides the ordered index structure
+(B+tree) that backs note tables and view indexes.
+"""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.bufferpool import BufferPool
+from repro.storage.engine import StorageEngine, Transaction
+from repro.storage.pagedfile import PagedFile
+from repro.storage.pages import PAGE_SIZE, SlottedPage
+from repro.storage.wal import LogRecord, RecordType, WriteAheadLog
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "LogRecord",
+    "PAGE_SIZE",
+    "PagedFile",
+    "RecordType",
+    "SlottedPage",
+    "StorageEngine",
+    "Transaction",
+    "WriteAheadLog",
+]

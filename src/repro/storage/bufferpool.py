@@ -1,0 +1,116 @@
+"""LRU buffer pool between the engine and the paged file.
+
+Pages are pinned while in use and unpinned with a dirty flag; eviction picks
+the least recently used unpinned frame. Before a dirty page is evicted or
+flushed the pool invokes the ``before_write`` hook, which the engine wires to
+"flush the WAL" so the write-ahead rule holds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.errors import BufferPoolError
+from repro.storage.pagedfile import PagedFile
+from repro.storage.pages import SlottedPage
+
+
+class _Frame:
+    __slots__ = ("page", "pins", "dirty")
+
+    def __init__(self, page: SlottedPage) -> None:
+        self.page = page
+        self.pins = 0
+        self.dirty = False
+
+
+class BufferPool:
+    """Caches :class:`SlottedPage` objects for a :class:`PagedFile`."""
+
+    def __init__(
+        self,
+        file: PagedFile,
+        capacity: int = 128,
+        before_write: Callable[[], None] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise BufferPoolError("buffer pool needs capacity >= 1")
+        self.file = file
+        self.capacity = capacity
+        self.before_write = before_write
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def fetch(self, page_id: int) -> SlottedPage:
+        """Pin and return the page; loads it from the file on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+        else:
+            self.misses += 1
+            self._ensure_room()
+            frame = _Frame(SlottedPage(self.file.read(page_id)))
+            self._frames[page_id] = frame
+        frame.pins += 1
+        return frame.page
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        """Release one pin; ``dirty`` marks the page as needing write-back."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pins == 0:
+            raise BufferPoolError(f"unpin of page {page_id} that is not pinned")
+        frame.pins -= 1
+        frame.dirty = frame.dirty or dirty
+
+    def new_page(self) -> tuple[int, SlottedPage]:
+        """Allocate a fresh page in the file and return it pinned."""
+        page_id = self.file.allocate()
+        self._ensure_room()
+        frame = _Frame(SlottedPage())
+        frame.dirty = True
+        frame.pins = 1
+        self._frames[page_id] = frame
+        return page_id, frame.page
+
+    def flush(self, page_id: int) -> None:
+        """Write one dirty page back to the file (no-op if clean/absent)."""
+        frame = self._frames.get(page_id)
+        if frame is None or not frame.dirty:
+            return
+        if self.before_write is not None:
+            self.before_write()
+        self.file.write(page_id, frame.page.raw)
+        frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write back every dirty page (used by checkpoints and close)."""
+        for page_id in list(self._frames):
+            self.flush(page_id)
+        self.file.sync()
+
+    def drop_all(self) -> None:
+        """Discard every frame *without* writing back — crash simulation."""
+        self._frames.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _ensure_room(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim_id = next(
+                (pid for pid, f in self._frames.items() if f.pins == 0), None
+            )
+            if victim_id is None:
+                raise BufferPoolError("all frames pinned; cannot evict")
+            self.flush(victim_id)
+            del self._frames[victim_id]
+            self.evictions += 1

@@ -1,0 +1,92 @@
+"""Document archiving: move aging documents to an archive database.
+
+Mirrors the Notes archive task: documents matching a cutoff (and optional
+selection formula) are *copied* into the archive database preserving their
+UNIDs and envelopes, then deleted from the source — leaving deletion stubs
+so the removal replicates to the other replicas of the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DatabaseError
+from repro.core.database import ChangeKind, NotesDatabase
+from repro.formula import Formula, compile_formula
+
+
+@dataclass
+class ArchiveResult:
+    """What one archive pass did."""
+
+    examined: int = 0
+    archived: int = 0
+    skipped: int = 0
+    bytes_moved: int = 0
+    archived_unids: list[str] = field(default_factory=list)
+
+
+def archive_documents(
+    source: NotesDatabase,
+    archive: NotesDatabase,
+    not_modified_since: float,
+    selection: str | None = None,
+    keep_responses_with_parents: bool = True,
+    author: str = "archiver",
+) -> ArchiveResult:
+    """Move documents idle since ``not_modified_since`` into ``archive``.
+
+    Parameters
+    ----------
+    source / archive:
+        The live database and its archive. They must be *different
+        families* (an archive is not a replica: same-replica archiving
+        would let replication pull the archived docs straight back).
+    not_modified_since:
+        Documents with ``modified`` strictly before this virtual time are
+        candidates.
+    selection:
+        Optional selection formula further restricting candidates.
+    keep_responses_with_parents:
+        When True (the Notes default), a response whose parent stays is
+        kept too, so threads are not torn apart mid-conversation.
+    """
+    if source.replica_id == archive.replica_id:
+        raise DatabaseError(
+            "archive target must not be a replica of the source"
+        )
+    formula: Formula | None = (
+        compile_formula(selection) if selection is not None else None
+    )
+    result = ArchiveResult()
+    candidates: set[str] = set()
+    for doc in source.all_documents():
+        result.examined += 1
+        if doc.modified >= not_modified_since:
+            continue
+        if formula is not None and not formula.select(doc, db=source):
+            continue
+        candidates.add(doc.unid)
+    if keep_responses_with_parents:
+        # Iterate to a fixed point: keep any response whose parent stays.
+        changed = True
+        while changed:
+            changed = False
+            for unid in list(candidates):
+                doc = source.get(unid)
+                if (
+                    doc.parent_unid is not None
+                    and doc.parent_unid in source
+                    and doc.parent_unid not in candidates
+                ):
+                    candidates.discard(unid)
+                    changed = True
+    for unid in sorted(candidates):
+        doc = source.get(unid)
+        archive.raw_put(doc.copy(), ChangeKind.REPLACE)
+        result.bytes_moved += doc.size()
+        source.delete(unid, author=author)
+        result.archived += 1
+        result.archived_unids.append(unid)
+    result.skipped = result.examined - result.archived
+    return result

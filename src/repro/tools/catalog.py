@@ -1,0 +1,61 @@
+"""The database catalog: a database describing the databases.
+
+Mirrors ``catalog.nsf``: one document per (server, replica) pair with
+title, replica id and size statistics, refreshed by the catalog task.
+Being an ordinary database, the catalog itself can be viewed, searched and
+replicated like anything else.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import NotesDatabase
+from repro.replication.network import SimulatedNetwork
+
+CATALOG_FORM = "Database"
+
+
+def update_catalog(catalog: NotesDatabase, network: SimulatedNetwork) -> int:
+    """Refresh ``catalog`` with one document per replica in ``network``.
+
+    Existing entries are updated in place; entries whose database vanished
+    are removed. Returns the number of live catalog entries.
+    """
+    seen: set[str] = set()
+    existing = {
+        (doc.get("Server"), doc.get("ReplicaId")): doc
+        for doc in catalog.all_documents()
+        if doc.get("Form") == CATALOG_FORM
+    }
+    for server_name in sorted(network.servers):
+        server = network.server(server_name)
+        for replica_id, db in sorted(server.databases.items()):
+            key = (server_name, replica_id)
+            items = {
+                "Form": CATALOG_FORM,
+                "Title": db.title,
+                "Server": server_name,
+                "ReplicaId": replica_id,
+                "Documents": len(db),
+                "DeletionStubs": len(db.stubs),
+                "SizeBytes": sum(doc.size() for doc in db.all_documents()),
+            }
+            entry = existing.get(key)
+            if entry is not None:
+                catalog.update(entry.unid, items, author="catalog")
+                seen.add(entry.unid)
+            else:
+                seen.add(catalog.create(items, author="catalog").unid)
+    for key, doc in existing.items():
+        if doc.unid not in seen:
+            catalog.delete(doc.unid, author="catalog")
+    return len(seen)
+
+
+def replicas_of(catalog: NotesDatabase, replica_id: str) -> list[str]:
+    """Servers carrying ``replica_id``, per the catalog's current state."""
+    return sorted(
+        doc.get("Server")
+        for doc in catalog.all_documents()
+        if doc.get("Form") == CATALOG_FORM
+        and doc.get("ReplicaId") == replica_id
+    )

@@ -1,0 +1,89 @@
+"""Storage compaction: rewrite the heap, dropping dead space.
+
+The engine's no-steal redo design can orphan heap slots after crash
+recovery, and deletes leave free space scattered across pages. Compaction —
+the Domino admin's nightly ``compact`` task — rewrites every live record
+into a fresh heap and atomically swaps the files.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.storage.engine import StorageEngine
+
+
+@dataclass
+class CompactResult:
+    """Space accounting for one compaction."""
+
+    keys: int = 0
+    pages_before: int = 0
+    pages_after: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return max(self.bytes_before - self.bytes_after, 0)
+
+
+def compact_engine(engine: StorageEngine) -> CompactResult:
+    """Rewrite ``engine``'s heap in place; returns space accounting.
+
+    The engine remains open and usable afterwards; all keys and values are
+    preserved. Uses a copy-compact: live records stream into a scratch
+    engine, files swap, state reloads.
+    """
+    result = CompactResult(
+        keys=len(engine),
+        pages_before=engine._pages.page_count,
+        bytes_before=os.path.getsize(engine._pages.path),
+    )
+    scratch_path = engine.path + ".compact"
+    scratch = StorageEngine(scratch_path, durability="none")
+    for key in engine.keys():
+        scratch.set(key, engine.get(key))
+    scratch._pool.flush_all()
+    # Snapshot the scratch index: it becomes the engine's checkpoint.
+    scratch_index = {
+        "index": {key.hex(): locs for key, locs in scratch._index.items()},
+        "free": scratch._free,
+        "next_txn": engine._next_txn,
+    }
+    scratch._pages.close()
+
+    # Swap page files; reset WAL and checkpoint to the compacted state.
+    engine._pool.drop_all()
+    engine._pages.close()
+    os.replace(scratch_path + ".pages", engine.path + ".pages")
+    for leftover in (scratch_path + ".wal", scratch_path + ".chk"):
+        if os.path.exists(leftover):
+            os.remove(leftover)
+
+    import json
+
+    with open(engine.path + ".chk", "w", encoding="utf-8") as out:
+        json.dump(scratch_index, out)
+    if engine._wal is not None:
+        engine._wal.truncate()
+
+    from repro.storage.pagedfile import PagedFile
+    from repro.storage.bufferpool import BufferPool
+
+    engine._pages = PagedFile(engine.path + ".pages")
+    engine._pool = BufferPool(
+        engine._pages,
+        capacity=engine._pool.capacity,
+        before_write=engine._wal.flush if engine._wal else None,
+    )
+    engine._index = {
+        bytes.fromhex(key): [tuple(loc) for loc in locs]
+        for key, locs in scratch_index["index"].items()
+    }
+    engine._free = {int(page): free for page, free in scratch_index["free"].items()}
+
+    result.pages_after = engine._pages.page_count
+    result.bytes_after = os.path.getsize(engine._pages.path)
+    return result

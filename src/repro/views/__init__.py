@@ -1,0 +1,27 @@
+"""Views: sorted, categorized, selectively-populated indexes over a database.
+
+A view is Notes' query mechanism: a selection formula picks documents, view
+columns compute display values, and sorted columns define a collation order
+maintained in a B+tree index. The view index is maintained *incrementally*
+from database change events (the design the paper highlights as the reason
+view opens are fast), with a full-rebuild path kept for comparison
+(experiment E5).
+"""
+
+from repro.views.column import SortOrder, ViewColumn, collate
+from repro.views.folders import Folder
+from repro.views.navigator import ViewNavigator
+from repro.views.unread import UnreadTracker
+from repro.views.view import CategoryRow, DocumentRow, View
+
+__all__ = [
+    "CategoryRow",
+    "DocumentRow",
+    "Folder",
+    "SortOrder",
+    "UnreadTracker",
+    "View",
+    "ViewColumn",
+    "ViewNavigator",
+    "collate",
+]

@@ -1,0 +1,128 @@
+"""View columns and collation keys.
+
+A column displays either a raw item value or a computed formula result.
+Sorted columns contribute to the view's collation key; categorized columns
+additionally group rows under twistie headings. Collation follows Notes
+conventions: numbers sort before text, text sorts case-insensitively, and a
+descending column simply inverts its key component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import total_ordering
+from typing import Any
+
+from repro.errors import ViewError
+from repro.formula import Formula, compile_formula
+
+
+class SortOrder(str, Enum):
+    NONE = "none"
+    ASCENDING = "ascending"
+    DESCENDING = "descending"
+
+
+@total_ordering
+class Descending:
+    """Wrapper inverting the sort order of one collation component."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Descending) and self.inner == other.inner
+
+    def __lt__(self, other: "Descending") -> bool:
+        if not isinstance(other, Descending):
+            return NotImplemented
+        return other.inner < self.inner
+
+    def __hash__(self) -> int:
+        return hash(("desc", self.inner))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Descending({self.inner!r})"
+
+
+def collate(value: Any) -> tuple:
+    """Normalise one display value into an orderable collation component.
+
+    Numbers sort before text (rank 0 vs 1); text compares case-insensitively
+    but keeps the original as a tie-break so "Apple" and "apple" stay
+    distinct and deterministic. Multi-valued items collate on their first
+    element. ``None`` (missing) sorts first.
+    """
+    if isinstance(value, list):
+        value = value[0] if value else ""
+    if value is None:
+        return (-1, "")
+    if isinstance(value, bool):
+        return (0, int(value), "")
+    if isinstance(value, (int, float)):
+        return (0, value, "")
+    if isinstance(value, str):
+        return (1, value.lower(), value)
+    raise ViewError(f"value {value!r} cannot be collated")
+
+
+@dataclass
+class ViewColumn:
+    """One column of a view.
+
+    Parameters
+    ----------
+    title:
+        Column heading shown to users.
+    item:
+        Document item whose value the column displays. Mutually exclusive
+        with ``formula``.
+    formula:
+        @-formula source computing the display value.
+    sort:
+        Whether (and how) this column participates in the collation key.
+    categorized:
+        Group rows by this column's value. Categorized columns must be
+        sorted and must precede every merely-sorted column.
+    totals:
+        Accumulate a numeric total for this column (per category + grand).
+    """
+
+    title: str
+    item: str | None = None
+    formula: str | None = None
+    sort: SortOrder = SortOrder.NONE
+    categorized: bool = False
+    totals: bool = False
+    _compiled: Formula | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if (self.item is None) == (self.formula is None):
+            raise ViewError(
+                f"column {self.title!r} needs exactly one of item= or formula="
+            )
+        if self.categorized and self.sort == SortOrder.NONE:
+            self.sort = SortOrder.ASCENDING
+        if self.formula is not None:
+            self._compiled = compile_formula(self.formula)
+
+    def value_for(self, doc, db=None) -> Any:
+        """Compute this column's display value for ``doc``."""
+        if self.item is not None:
+            return doc.get(self.item, "")
+        result = self._compiled.evaluate(doc=doc, db=db)
+        if len(result) == 1:
+            return result[0]
+        return result
+
+    def key_component(self, value: Any):
+        """The collation component this column contributes, or None."""
+        if self.sort == SortOrder.NONE:
+            return None
+        component = collate(value)
+        if self.sort == SortOrder.DESCENDING:
+            return Descending(component)
+        return component

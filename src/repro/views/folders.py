@@ -1,0 +1,116 @@
+"""Folders: manually-populated document collections.
+
+A folder is a view without a selection formula — documents are put in and
+taken out explicitly (the Notes Inbox is a folder). Membership is stored in
+a hidden ``$FolderRefs``-style structure on the folder object; display
+reuses the view collation machinery.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ViewError
+from repro.core.database import ChangeKind, NotesDatabase
+from repro.core.document import Document
+from repro.storage.btree import BPlusTree
+from repro.views.column import SortOrder, ViewColumn, collate
+from repro.views.view import _Entry
+
+
+class Folder:
+    """A named, manually-populated, sorted collection of documents."""
+
+    def __init__(
+        self,
+        db: NotesDatabase,
+        name: str,
+        columns: list[ViewColumn] | None = None,
+    ) -> None:
+        self.db = db
+        self.name = name
+        self.columns = columns or [ViewColumn(title="Subject", item="Subject")]
+        self._members: set[str] = set()
+        self._tree = BPlusTree(order=64)
+        self._keys: dict[str, tuple] = {}
+        db.subscribe(self._on_change)
+
+    def close(self) -> None:
+        self.db.unsubscribe(self._on_change)
+
+    # -- membership -----------------------------------------------------
+
+    def add(self, unid: str) -> None:
+        """Put a document into the folder (idempotent)."""
+        doc = self.db.try_get(unid)
+        if doc is None:
+            raise ViewError(f"cannot file missing document {unid}")
+        if unid in self._members:
+            return
+        self._members.add(unid)
+        self._insert(doc)
+
+    def remove(self, unid: str) -> None:
+        """Take a document out of the folder."""
+        if unid not in self._members:
+            raise ViewError(f"{unid} is not in folder {self.name!r}")
+        self._members.discard(unid)
+        self._drop(unid)
+
+    def __contains__(self, unid: str) -> bool:
+        return unid in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # -- display ----------------------------------------------------------
+
+    def documents(self) -> list[Document]:
+        """Folder contents in collation order."""
+        out = []
+        for _, entry in self._tree.items():
+            doc = self.db.try_get(entry.unid)
+            if doc is not None:
+                out.append(doc)
+        return out
+
+    def all_unids(self) -> list[str]:
+        return [entry.unid for _, entry in self._tree.items()]
+
+    # -- internals ----------------------------------------------------------
+
+    def _key_for(self, doc: Document) -> tuple:
+        components = [
+            column.key_component(column.value_for(doc, self.db))
+            for column in self.columns
+            if column.sort != SortOrder.NONE
+        ]
+        if not components:
+            components = [collate(doc.created)]
+        return tuple(components) + ((1, doc.created, doc.unid),)
+
+    def _insert(self, doc: Document) -> None:
+        key = self._key_for(doc)
+        values = tuple(column.value_for(doc, self.db) for column in self.columns)
+        self._tree.insert(key, _Entry(doc.unid, values, 0))
+        self._keys[doc.unid] = key
+
+    def _drop(self, unid: str) -> None:
+        key = self._keys.pop(unid, None)
+        if key is not None:
+            try:
+                self._tree.delete(key)
+            except KeyError:  # pragma: no cover - defensive
+                pass
+
+    def _on_change(self, kind: ChangeKind, payload, old) -> None:
+        unid = payload.unid
+        if unid not in self._members:
+            return
+        if kind == ChangeKind.DELETE:
+            # deletion removes the document from every folder
+            self._members.discard(unid)
+            self._drop(unid)
+        elif kind in (ChangeKind.UPDATE, ChangeKind.REPLACE, ChangeKind.RESTORE):
+            self._drop(unid)
+            doc = self.db.try_get(unid)
+            if doc is not None:
+                self._insert(doc)

@@ -1,0 +1,88 @@
+"""Cursor-style navigation over a view, like the Notes client's view pane.
+
+A navigator materialises the row list lazily and supports first/last,
+next/previous, jump-to-key and page movements — the access pattern the view
+index's B+tree makes cheap (experiment E6).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ViewError
+from repro.views.view import DocumentRow, View
+
+
+class ViewNavigator:
+    """A movable cursor over the document rows of a :class:`View`."""
+
+    def __init__(self, view: View, as_user: str | None = None) -> None:
+        self.view = view
+        self.as_user = as_user
+        self._rows = [
+            row for row in view.rows(as_user=as_user) if isinstance(row, DocumentRow)
+        ]
+        self._pos = 0 if self._rows else -1
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def current(self) -> DocumentRow | None:
+        if 0 <= self._pos < len(self._rows):
+            return self._rows[self._pos]
+        return None
+
+    def first(self) -> DocumentRow | None:
+        self._pos = 0 if self._rows else -1
+        return self.current
+
+    def last(self) -> DocumentRow | None:
+        self._pos = len(self._rows) - 1
+        return self.current
+
+    def next(self) -> DocumentRow | None:
+        if self._pos + 1 >= len(self._rows):
+            return None
+        self._pos += 1
+        return self.current
+
+    def previous(self) -> DocumentRow | None:
+        if self._pos <= 0:
+            return None
+        self._pos -= 1
+        return self.current
+
+    def page(self, size: int = 20) -> list[DocumentRow]:
+        """The next ``size`` rows from the cursor, advancing it."""
+        if size < 1:
+            raise ViewError(f"page size must be positive, got {size}")
+        if self._pos < 0:
+            return []
+        rows = self._rows[self._pos : self._pos + size]
+        self._pos = min(self._pos + size, max(len(self._rows) - 1, 0))
+        return rows
+
+    def goto_key(self, value: Any) -> DocumentRow | None:
+        """Jump to the first row whose first sort-column value matches."""
+        matches = self.view.documents_by_key(value)
+        if not matches:
+            return None
+        wanted = {doc.unid for doc in matches}
+        for index, row in enumerate(self._rows):
+            if row.unid in wanted:
+                self._pos = index
+                return row
+        return None
+
+    def goto_unid(self, unid: str) -> DocumentRow | None:
+        """Jump to the row showing ``unid``."""
+        for index, row in enumerate(self._rows):
+            if row.unid == unid:
+                self._pos = index
+                return row
+        return None

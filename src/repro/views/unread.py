@@ -1,0 +1,71 @@
+"""Per-user unread marks.
+
+Notes keeps an unread table per user per database: a document is unread for
+a user until they open it, and becomes unread again when somebody else
+revises it. Unread state is *local bookkeeping* keyed by the document's
+revision stamp, which makes "revised ⇒ unread again" fall out naturally:
+the mark records which revision was read.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import NotesDatabase
+from repro.core.document import Document
+
+
+class UnreadTracker:
+    """Tracks which revision of each document each user has read."""
+
+    def __init__(self, db: NotesDatabase) -> None:
+        self.db = db
+        # user -> unid -> (seq, seq_time) last read
+        self._read: dict[str, dict[str, tuple]] = {}
+
+    def _table(self, user: str) -> dict[str, tuple]:
+        return self._read.setdefault(user, {})
+
+    # -- marking ----------------------------------------------------------
+
+    def mark_read(self, user: str, unid: str) -> None:
+        """Record that ``user`` has seen the current revision of ``unid``."""
+        doc = self.db.get(unid)
+        self._table(user)[unid] = (doc.seq, tuple(doc.seq_time))
+
+    def mark_all_read(self, user: str) -> int:
+        """Mark every live document read for ``user``; returns the count."""
+        table = self._table(user)
+        count = 0
+        for doc in self.db.all_documents():
+            table[doc.unid] = (doc.seq, tuple(doc.seq_time))
+            count += 1
+        return count
+
+    def mark_unread(self, user: str, unid: str) -> None:
+        """Force a document back to unread for ``user``."""
+        self._table(user).pop(unid, None)
+
+    # -- querying ---------------------------------------------------------
+
+    def is_unread(self, user: str, doc: Document) -> bool:
+        """Unread = never read, or revised since the recorded read."""
+        stamp = self._table(user).get(doc.unid)
+        if stamp is None:
+            return True
+        return (doc.seq, tuple(doc.seq_time)) != stamp
+
+    def unread_count(self, user: str, view=None) -> int:
+        """Unread documents for ``user`` — whole db, or scoped to a view."""
+        if view is not None:
+            docs = (self.db.try_get(unid) for unid in view.all_unids())
+        else:
+            docs = self.db.all_documents()
+        return sum(
+            1 for doc in docs if doc is not None and self.is_unread(user, doc)
+        )
+
+    def unread_unids(self, user: str) -> list[str]:
+        return [
+            doc.unid
+            for doc in self.db.all_documents()
+            if self.is_unread(user, doc)
+        ]

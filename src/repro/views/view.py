@@ -1,0 +1,535 @@
+"""The View: a sorted, categorized, incrementally-maintained index.
+
+A view owns a B+tree whose keys are collation tuples built from the sorted
+columns (plus a per-document tie-break, plus response markers in
+hierarchical views) and whose values are display entries. Two maintenance
+modes exist so experiment E5 can compare them:
+
+``auto`` (default)
+    The view subscribes to database change events and applies them
+    incrementally — O(log n) per changed document.
+``manual``
+    The view is rebuilt from scratch on :meth:`refresh` — O(n log n) —
+    the "view rebuild" cost the paper calls out as the thing incremental
+    indexing avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Iterator
+
+from repro.errors import ViewError
+from repro.core.database import ChangeKind, NotesDatabase
+from repro.core.document import Document
+from repro.formula import compile_formula
+from repro.storage.btree import BPlusTree
+from repro.views.column import SortOrder, ViewColumn, collate
+
+
+@dataclass(frozen=True)
+class DocumentRow:
+    """One document line in a view display."""
+
+    unid: str
+    values: tuple
+    level: int = 0
+
+
+@dataclass(frozen=True)
+class CategoryRow:
+    """A category heading produced by a categorized column."""
+
+    value: Any
+    level: int
+    count: int
+    subtotals: dict = dataclass_field(default_factory=dict, compare=False)
+
+
+@dataclass
+class _Entry:
+    unid: str
+    values: tuple
+    level: int
+
+
+class View:
+    """A named, sorted projection of one database.
+
+    Parameters
+    ----------
+    db:
+        The backing :class:`NotesDatabase`.
+    name:
+        View name (unique per application by convention, not enforced).
+    selection:
+        Selection formula source; defaults to everything.
+    columns:
+        The :class:`ViewColumn` list. Categorized columns must come first.
+    mode:
+        ``"auto"`` for incremental maintenance, ``"manual"`` for
+        rebuild-on-refresh.
+    hierarchical:
+        Show response documents indented beneath their parents.
+    persist:
+        Store the view index in the database's storage engine (the NSF
+        kept view indexes too). On open, a saved index whose database
+        state fingerprint still matches is loaded instead of rebuilding;
+        call :meth:`save_index` (or :meth:`close`) to write it back.
+    """
+
+    def __init__(
+        self,
+        db: NotesDatabase,
+        name: str,
+        selection: str = "SELECT @All",
+        columns: list[ViewColumn] | None = None,
+        mode: str = "auto",
+        hierarchical: bool = False,
+        persist: bool = False,
+    ) -> None:
+        if mode not in ("auto", "manual"):
+            raise ViewError(f"mode must be 'auto' or 'manual', got {mode!r}")
+        if persist and db.engine is None:
+            raise ViewError("persist=True needs a database with a storage engine")
+        self.db = db
+        self.name = name
+        self.selection_source = selection
+        self.columns = columns or [ViewColumn(title="Subject", item="Subject")]
+        self._validate_columns()
+        self.mode = mode
+        self.hierarchical = hierarchical
+        self.persist = persist
+        self._selection = compile_formula(selection)
+        self._tree: BPlusTree = BPlusTree(order=64)
+        self._keys: dict[str, tuple] = {}
+        self._children: dict[str, set[str]] = {}
+        self.rebuilds = 0
+        self.incremental_ops = 0
+        self.pending_changes = 0
+        self.loaded_from_disk = False
+        if mode == "auto":
+            db.subscribe(self._on_change)
+        if not (persist and self._try_load_index()):
+            self.rebuild()
+
+    # -- column checks ----------------------------------------------------
+
+    def _validate_columns(self) -> None:
+        seen_plain_sort = False
+        for column in self.columns:
+            if column.categorized:
+                if seen_plain_sort:
+                    raise ViewError(
+                        "categorized columns must precede sorted columns"
+                    )
+            elif column.sort != SortOrder.NONE:
+                seen_plain_sort = True
+
+    @property
+    def _sorted_columns(self) -> list[ViewColumn]:
+        return [c for c in self.columns if c.sort != SortOrder.NONE]
+
+    @property
+    def _categorized_columns(self) -> list[ViewColumn]:
+        return [c for c in self.columns if c.categorized]
+
+    # -- maintenance --------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from database events; save the index when persistent."""
+        if self.persist:
+            self.save_index()
+        if self.mode == "auto":
+            self.db.unsubscribe(self._on_change)
+
+    # -- index persistence -----------------------------------------------
+
+    def _design_fingerprint(self) -> str:
+        import hashlib
+
+        spec = repr((
+            self.selection_source,
+            self.hierarchical,
+            [(c.title, c.item, c.formula, c.sort.value, c.categorized,
+              c.totals) for c in self.columns],
+        ))
+        return hashlib.sha256(spec.encode()).hexdigest()
+
+    def _index_key(self) -> bytes:
+        return b"viewidx:" + self.name.encode()
+
+    @staticmethod
+    def _encode_key(key: tuple) -> list:
+        out = []
+        for component in key:
+            from repro.views.column import Descending
+
+            if isinstance(component, Descending):
+                out.append(["d", list(component.inner)])
+            else:
+                out.append(["a", list(component)])
+        return out
+
+    @staticmethod
+    def _decode_key(encoded: list) -> tuple:
+        from repro.views.column import Descending
+
+        components = []
+        for kind, inner in encoded:
+            value = tuple(inner)
+            components.append(Descending(value) if kind == "d" else value)
+        return tuple(components)
+
+    def save_index(self) -> None:
+        """Write the current index to the storage engine."""
+        import json
+
+        if self.db.engine is None:
+            raise ViewError("database has no storage engine")
+        entries = [
+            [self._encode_key(key), entry.unid, list(entry.values),
+             entry.level]
+            for key, entry in self._tree.items()
+        ]
+        snapshot = {
+            "design": self._design_fingerprint(),
+            "state": self.db.state_fingerprint(),
+            "entries": entries,
+            "children": {
+                parent: sorted(children)
+                for parent, children in self._children.items() if children
+            },
+        }
+        self.db.engine.set(self._index_key(), json.dumps(snapshot).encode())
+
+    def _try_load_index(self) -> bool:
+        """Load a saved index if design and database state still match."""
+        import json
+
+        raw = self.db.engine.get(self._index_key())
+        if raw is None:
+            return False
+        snapshot = json.loads(raw.decode())
+        if snapshot.get("design") != self._design_fingerprint():
+            return False
+        if snapshot.get("state") != self.db.state_fingerprint():
+            return False
+        pairs = []
+        for encoded_key, unid, values, level in snapshot["entries"]:
+            key = self._decode_key(encoded_key)
+            pairs.append((key, _Entry(unid, tuple(values), level)))
+            self._keys[unid] = key
+        self._tree.bulk_load(pairs)  # snapshot entries are in key order
+        self._children = {
+            parent: set(children)
+            for parent, children in snapshot.get("children", {}).items()
+        }
+        self.loaded_from_disk = True
+        return True
+
+    def rebuild(self) -> int:
+        """Discard and rebuild the whole index; returns the entry count.
+
+        Keys are computed once per document (parents before children, so
+        hierarchical placement is correct regardless of creation order —
+        replication can deliver responses first), sorted, and bulk-loaded
+        into a fresh B+tree.
+        """
+        self._tree = BPlusTree(order=64)
+        self._keys.clear()
+        self._children.clear()
+        docs = [doc for doc in self.db.all_documents() if self._selected(doc)]
+        if self.hierarchical:
+            docs.sort(key=self._hierarchy_depth)
+        pairs = []
+        for doc in docs:
+            key, level = self._key_for(doc)
+            values = tuple(
+                column.value_for(doc, self.db) for column in self.columns
+            )
+            self._keys[doc.unid] = key
+            if doc.parent_unid is not None:
+                self._children.setdefault(doc.parent_unid, set()).add(doc.unid)
+            pairs.append((key, _Entry(doc.unid, values, level)))
+        pairs.sort(key=lambda pair: pair[0])
+        self._tree.bulk_load(pairs)
+        self.rebuilds += 1
+        self.pending_changes = 0
+        return len(self._tree)
+
+    def _hierarchy_depth(self, doc: Document) -> int:
+        depth = 0
+        current = doc
+        while current.parent_unid is not None and depth < 64:
+            parent = self.db.try_get(current.parent_unid)
+            if parent is None:
+                break
+            depth += 1
+            current = parent
+        return depth
+
+    def refresh(self) -> None:
+        """Bring a manual-mode view up to date (full rebuild)."""
+        if self.mode == "manual":
+            self.rebuild()
+
+    def _on_change(self, kind: ChangeKind, payload, old: Document | None) -> None:
+        self.incremental_ops += 1
+        if kind in (ChangeKind.CREATE, ChangeKind.UPDATE, ChangeKind.REPLACE,
+                    ChangeKind.RESTORE):
+            doc: Document = payload
+            self._remove(doc.unid)
+            if self._selected(doc):
+                self._insert(doc)
+            self._rekey_descendants(doc.unid)
+        elif kind == ChangeKind.DELETE:
+            unid = payload.unid
+            self._remove(unid)
+            self._rekey_descendants(unid)
+
+    # -- selection ----------------------------------------------------------
+
+    def _selected(self, doc: Document) -> bool:
+        # Design notes are a different note class: never shown in data views.
+        form = doc.form
+        if isinstance(form, str) and form.startswith("$Design"):
+            return False
+        selected, wants_children, wants_descendants = self._selection.select_ex(
+            doc, db=self.db
+        )
+        if selected:
+            return True
+        if not doc.is_response:
+            return False
+        if wants_descendants:
+            return self._ancestor_selected(doc, max_depth=None)
+        if wants_children:
+            return self._ancestor_selected(doc, max_depth=1)
+        return False
+
+    def _ancestor_selected(self, doc: Document, max_depth: int | None) -> bool:
+        depth = 0
+        current = doc
+        while current.parent_unid is not None:
+            parent = self.db.try_get(current.parent_unid)
+            if parent is None:
+                return False
+            depth += 1
+            if max_depth is not None and depth > max_depth:
+                return False
+            selected, _, _ = self._selection.select_ex(parent, db=self.db)
+            if selected:
+                return True
+            current = parent
+        return False
+
+    # -- index operations ---------------------------------------------------
+
+    def _base_key(self, doc: Document) -> tuple:
+        components = []
+        for column in self._sorted_columns:
+            components.append(column.key_component(column.value_for(doc, self.db)))
+        if not components:
+            components.append(collate(doc.created))
+        return tuple(components)
+
+    def _key_for(self, doc: Document) -> tuple[tuple, int]:
+        """Full collation key and display level for ``doc``."""
+        marker = (1, doc.created, doc.unid)
+        if self.hierarchical and doc.parent_unid is not None:
+            parent_key = self._keys.get(doc.parent_unid)
+            if parent_key is not None:
+                level = self._level_of(parent_key) + 1
+                return parent_key + ((2, doc.created, doc.unid),), level
+        return self._base_key(doc) + (marker,), 0
+
+    def _level_of(self, key: tuple) -> int:
+        return sum(
+            1
+            for component in key
+            if isinstance(component, tuple) and component and component[0] == 2
+        )
+
+    def _insert(self, doc: Document) -> None:
+        key, level = self._key_for(doc)
+        values = tuple(column.value_for(doc, self.db) for column in self.columns)
+        self._tree.insert(key, _Entry(doc.unid, values, level))
+        self._keys[doc.unid] = key
+        if doc.parent_unid is not None:
+            self._children.setdefault(doc.parent_unid, set()).add(doc.unid)
+
+    def _remove(self, unid: str) -> None:
+        key = self._keys.pop(unid, None)
+        if key is None:
+            return
+        try:
+            self._tree.delete(key)
+        except KeyError:  # pragma: no cover - defensive
+            pass
+        for children in self._children.values():
+            children.discard(unid)
+
+    def _rekey_descendants(self, unid: str) -> None:
+        """Re-insert (or re-evaluate) responses after their ancestor moved."""
+        if not self.hierarchical:
+            return
+        for child_unid in list(self._children.get(unid, ())):
+            child = self.db.try_get(child_unid)
+            if child is None:
+                continue
+            self._remove(child_unid)
+            if self._selected(child):
+                self._insert(child)
+            self._rekey_descendants(child_unid)
+        # Responses that were excluded (orphans) may become eligible now.
+        for doc in self.db.responses(unid):
+            if doc.unid not in self._keys and self._selected(doc):
+                self._insert(doc)
+                self._rekey_descendants(doc.unid)
+
+    # -- reading ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __contains__(self, unid: str) -> bool:
+        return unid in self._keys
+
+    def entries(self) -> Iterator[_Entry]:
+        """All entries in collation order (no category rows)."""
+        for _, entry in self._tree.items():
+            yield entry
+
+    def all_unids(self) -> list[str]:
+        """Document UNIDs in view order."""
+        return [entry.unid for entry in self.entries()]
+
+    def documents(self, as_user: str | None = None) -> Iterator[Document]:
+        """Documents in view order, honouring reader fields for ``as_user``."""
+        for entry in self.entries():
+            doc = self.db.try_get(entry.unid)
+            if doc is None:
+                continue
+            if as_user is None or self.db._can_read(as_user, doc):
+                yield doc
+
+    def rows(self, as_user: str | None = None) -> list:
+        """Render the view: category rows interleaved with document rows."""
+        category_indices = [
+            index for index, column in enumerate(self.columns) if column.categorized
+        ]
+        n_categories = len(category_indices)
+        totals_columns = [
+            index for index, column in enumerate(self.columns) if column.totals
+        ]
+        output: list = []
+        open_values: list = [object()] * n_categories  # sentinels != anything
+        # First pass gathers rows; category counts/subtotals need a second
+        # pass, so collect member indices per open category.
+        pending: list[tuple[int, Any, int]] = []  # (output idx, value, level)
+
+        for entry in self.entries():
+            doc = self.db.try_get(entry.unid)
+            if doc is not None and as_user is not None:
+                if not self.db._can_read(as_user, doc):
+                    continue
+            # Responses (level > 0) live under their ancestor's category:
+            # their own column values never open or close category groups.
+            if entry.level == 0:
+                for depth in range(n_categories):
+                    value = entry.values[category_indices[depth]]
+                    if isinstance(value, list):
+                        value = value[0] if value else ""
+                    if value != open_values[depth]:
+                        for reset in range(depth, n_categories):
+                            open_values[reset] = object()
+                        open_values[depth] = value
+                        pending.append((len(output), value, depth))
+                        output.append(None)  # placeholder for CategoryRow
+            output.append(
+                DocumentRow(
+                    unid=entry.unid,
+                    values=entry.values,
+                    level=entry.level + n_categories,
+                )
+            )
+        # Fill in category rows with counts and subtotals.
+        for position, (index, value, level) in enumerate(pending):
+            end = (
+                pending[position + 1][0]
+                if position + 1 < len(pending)
+                else len(output)
+            )
+            members = [
+                row
+                for row in output[index + 1 : end]
+                if isinstance(row, DocumentRow)
+            ]
+            # A deeper category's members also belong to enclosing ones; for
+            # level-L rows count every document row until the next category
+            # at a level <= L.
+            if level < n_categories - 1:
+                stop = len(output)
+                for later_index, _, later_level in pending[position + 1 :]:
+                    if later_level <= level:
+                        stop = later_index
+                        break
+                members = [
+                    row
+                    for row in output[index + 1 : stop]
+                    if isinstance(row, DocumentRow)
+                ]
+            subtotals = {}
+            for column_index in totals_columns:
+                subtotal = 0
+                for row in members:
+                    cell = row.values[column_index]
+                    if isinstance(cell, (int, float)) and not isinstance(cell, bool):
+                        subtotal += cell
+                subtotals[column_index] = subtotal
+            output[index] = CategoryRow(
+                value=value, level=level, count=len(members), subtotals=subtotals
+            )
+        return output
+
+    def totals(self) -> dict[int, float]:
+        """Grand totals for every totals column, keyed by column index."""
+        sums: dict[int, float] = {
+            index: 0
+            for index, column in enumerate(self.columns)
+            if column.totals
+        }
+        for entry in self.entries():
+            for index in sums:
+                cell = entry.values[index]
+                if isinstance(cell, (int, float)) and not isinstance(cell, bool):
+                    sums[index] += cell
+        return sums
+
+    def documents_by_key(self, value: Any) -> list[Document]:
+        """Index lookup: documents whose first sort column equals ``value``.
+
+        This is the ``GetDocumentByKey`` operation — a B+tree descent, not a
+        scan (experiment E6 measures exactly this).
+        """
+        if not self._sorted_columns:
+            raise ViewError(f"view {self.name!r} has no sorted column")
+        component = self._sorted_columns[0].key_component(value)
+        matches = []
+        for key, entry in self._tree.range(lo=(component,)):
+            first = key[0]
+            if first != component:
+                break
+            doc = self.db.try_get(entry.unid)
+            if doc is not None:
+                matches.append(doc)
+        return matches
+
+    def first_by_key(self, value: Any) -> Document | None:
+        """First match of :meth:`documents_by_key`, or None."""
+        matches = self.documents_by_key(value)
+        return matches[0] if matches else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"View({self.name!r}, {len(self)} entries, mode={self.mode})"

@@ -1,0 +1,23 @@
+"""The Domino web engine: Notes applications rendered as HTML.
+
+Domino's defining 1998/99 move was serving Notes databases to browsers:
+URLs name a database, a design element and a *URL command* —
+``/sales.nsf/ByCustomer?OpenView&Start=1&Count=10`` — and the server renders
+views and documents as HTML on the fly, honouring the ACL and reader fields.
+This package reproduces that pipeline: URL parsing, HTML rendering, and a
+request handler over registered databases.
+"""
+
+from repro.web.render import render_database, render_document, render_view
+from repro.web.server import DominoWebServer, WebResponse
+from repro.web.urls import ParsedUrl, parse_url
+
+__all__ = [
+    "DominoWebServer",
+    "ParsedUrl",
+    "WebResponse",
+    "parse_url",
+    "render_database",
+    "render_document",
+    "render_view",
+]

@@ -1,0 +1,175 @@
+"""HTML rendering of databases, views and documents.
+
+Deliberately plain, well-formed HTML — the shape Domino generated: a view
+becomes a table with category rows and document links, a document becomes a
+definition list of its items (hidden ``$`` items omitted).
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+from repro.core.database import NotesDatabase
+from repro.core.document import Document
+from repro.views.view import CategoryRow, DocumentRow, View
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, list):
+        return escape(", ".join(str(element) for element in value))
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return escape(str(value))
+
+
+def render_view(
+    view: View,
+    db_path: str,
+    start: int = 1,
+    count: int = 30,
+    as_user: str | None = None,
+) -> str:
+    """Render a window of ``view`` as an HTML table with document links."""
+    rows = view.rows(as_user=as_user)
+    window = rows[max(start - 1, 0) : max(start - 1, 0) + count]
+    parts = [
+        f"<h1>{escape(view.name)}</h1>",
+        f'<table class="view" data-total="{len(view)}">',
+        "<tr>"
+        + "".join(f"<th>{escape(c.title)}</th>" for c in view.columns)
+        + "</tr>",
+    ]
+    for row in window:
+        if isinstance(row, CategoryRow):
+            parts.append(
+                f'<tr class="category" data-level="{row.level}">'
+                f'<td colspan="{len(view.columns)}">'
+                f"{_fmt_cell(row.value)} ({row.count})</td></tr>"
+            )
+        elif isinstance(row, DocumentRow):
+            cells = "".join(
+                f'<td style="padding-left:{row.level}em">{_fmt_cell(v)}</td>'
+                if index == 0
+                else f"<td>{_fmt_cell(v)}</td>"
+                for index, v in enumerate(row.values)
+            )
+            href = f"/{db_path}/{view.name}/{row.unid}?OpenDocument"
+            parts.append(f'<tr class="doc"><td><a href="{href}">&#9656;</a></td>{cells}</tr>')
+    parts.append("</table>")
+    next_start = start + count
+    if next_start <= len(rows):
+        parts.append(
+            f'<a class="next" href="/{db_path}/{view.name}'
+            f"?OpenView&Start={next_start}&Count={count}\">Next</a>"
+        )
+    return "\n".join(parts)
+
+
+def _doc_title(doc: Document) -> str:
+    for item in ("Subject", "Name", "Title"):
+        value = doc.get(item)
+        if value:
+            return str(value)
+    return doc.unid
+
+
+def render_document(doc: Document, db_path: str, view_name: str = "0") -> str:
+    """Render one document as HTML (hidden ``$`` items omitted)."""
+    parts = [
+        f"<h1>{escape(_doc_title(doc))}</h1>",
+        f'<div class="meta">form={escape(str(doc.form))} '
+        f"rev={doc.seq} by {escape(', '.join(doc.updated_by))}</div>",
+        "<dl>",
+    ]
+    for item in doc:
+        if item.name.startswith("$"):
+            continue
+        parts.append(f"<dt>{escape(item.name)}</dt><dd>{_fmt_cell(item.value)}</dd>")
+    parts.append("</dl>")
+    if doc.parent_unid:
+        parts.append(
+            f'<a class="parent" href="/{db_path}/{view_name}/'
+            f'{doc.parent_unid}?OpenDocument">parent document</a>'
+        )
+    return "\n".join(parts)
+
+
+def render_database(db: NotesDatabase, db_path: str, view_names: list[str]) -> str:
+    """Render the database landing page: title + its views."""
+    parts = [
+        f"<h1>{escape(db.title)}</h1>",
+        f'<div class="meta">{len(db)} documents, replica '
+        f"{escape(db.replica_id)} on {escape(db.server)}</div>",
+        "<ul>",
+    ]
+    for name in view_names:
+        parts.append(
+            f'<li><a href="/{db_path}/{name}?OpenView">{escape(name)}</a></li>'
+        )
+    parts.append("</ul>")
+    return "\n".join(parts)
+
+
+def render_view_entries_xml(
+    view: View,
+    start: int = 1,
+    count: int = 30,
+    as_user: str | None = None,
+) -> str:
+    """The ``?ReadViewEntries`` XML feed — Domino's machine-readable view
+    access (the precursor of its REST APIs). Category rows carry their
+    value and count; document rows carry unid, position and column values.
+    """
+    rows = view.rows(as_user=as_user)
+    window = rows[max(start - 1, 0) : max(start - 1, 0) + count]
+    parts = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<viewentries toplevelentries="{len(view)}" start="{start}">',
+    ]
+    position = start - 1
+    for row in window:
+        position += 1
+        if isinstance(row, CategoryRow):
+            parts.append(
+                f'  <viewentry position="{position}" category="true" '
+                f'children="{row.count}">'
+            )
+            parts.append(
+                f"    <entrydata><text>{escape(_fmt_cell(row.value))}"
+                "</text></entrydata>"
+            )
+            parts.append("  </viewentry>")
+            continue
+        parts.append(
+            f'  <viewentry position="{position}" unid="{row.unid}" '
+            f'indent="{row.level}">'
+        )
+        for column, value in zip(view.columns, row.values):
+            parts.append(
+                f'    <entrydata name="{escape(column.title)}">'
+                f"<text>{_fmt_cell(value)}</text></entrydata>"
+            )
+        parts.append("  </viewentry>")
+    parts.append("</viewentries>")
+    return "\n".join(parts)
+
+
+def render_search_results(
+    db: NotesDatabase, db_path: str, view_name: str, query: str, hits
+) -> str:
+    parts = [
+        f"<h1>Search: {escape(query)}</h1>",
+        f'<ol class="results">',
+    ]
+    for hit in hits:
+        doc = db.try_get(hit.unid)
+        if doc is None:
+            continue
+        title = escape(_doc_title(doc))
+        href = f"/{db_path}/{view_name}/{doc.unid}?OpenDocument"
+        parts.append(
+            f'<li><a href="{href}">{title}</a> '
+            f'<span class="score">{hit.score:.2f}</span></li>'
+        )
+    parts.append("</ol>")
+    return "\n".join(parts)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.runners import build_deployment
+from repro.core import NotesDatabase
+from repro.sim import EventScheduler, VirtualClock
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def events(clock) -> EventScheduler:
+    return EventScheduler(clock)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def db(clock, rng) -> NotesDatabase:
+    return NotesDatabase("test.nsf", clock=clock, rng=rng, server="alpha")
+
+
+@pytest.fixture
+def pair(clock):
+    """Two replicas of one database on two servers (no network)."""
+    a = NotesDatabase(
+        "pair.nsf", clock=clock, rng=random.Random(1), server="alpha"
+    )
+    b = a.new_replica("beta")
+    return a, b
+
+
+@pytest.fixture
+def deployment():
+    return build_deployment(3)

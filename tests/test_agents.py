@@ -1,0 +1,167 @@
+"""Tests for agents and the agent runner."""
+
+import pytest
+
+from repro.agents import Agent, AgentRunner, AgentTrigger
+from repro.errors import AgentError
+from repro.sim import EventScheduler
+
+
+@pytest.fixture
+def runner(db):
+    return AgentRunner(db)
+
+
+class TestAgentDefinition:
+    def test_needs_exactly_one_action(self):
+        with pytest.raises(AgentError):
+            Agent(name="none")
+        with pytest.raises(AgentError):
+            Agent(name="both", formula="1", action=lambda d, db: None)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(AgentError):
+            Agent(name="x", trigger=AgentTrigger.SCHEDULED, formula="1",
+                  interval=0)
+
+    def test_bad_scan_rejected(self):
+        with pytest.raises(AgentError):
+            Agent(name="x", formula="1", scan="sometimes")
+
+    def test_duplicate_names_rejected(self, runner):
+        runner.add(Agent(name="a", formula="1"))
+        with pytest.raises(AgentError):
+            runner.add(Agent(name="a", formula="2"))
+
+    def test_scheduled_needs_event_loop(self, runner):
+        with pytest.raises(AgentError):
+            runner.add(Agent(name="s", trigger=AgentTrigger.SCHEDULED,
+                             formula="1"))
+
+    def test_agent_lookup(self, runner):
+        agent = runner.add(Agent(name="find-me", formula="1"))
+        assert runner.agent("find-me") is agent
+        with pytest.raises(AgentError):
+            runner.agent("ghost")
+
+
+class TestEventTriggers:
+    def test_on_create_fires(self, db, runner):
+        runner.add(Agent(name="stamp", trigger=AgentTrigger.ON_CREATE,
+                         formula='FIELD Status := "received"'))
+        doc = db.create({"S": "x"})
+        assert db.get(doc.unid).get("Status") == "received"
+
+    def test_on_create_respects_selection(self, db, runner):
+        runner.add(Agent(name="stamp", trigger=AgentTrigger.ON_CREATE,
+                         selection='SELECT Form = "Order"',
+                         formula='FIELD Status := "stamped"'))
+        order = db.create({"Form": "Order"})
+        memo = db.create({"Form": "Memo"})
+        assert db.get(order.unid).get("Status") == "stamped"
+        assert db.get(memo.unid).get("Status") is None
+
+    def test_on_update_fires_for_updates(self, db, runner, clock):
+        runner.add(Agent(name="track", trigger=AgentTrigger.ON_UPDATE,
+                         formula='FIELD Touched := @Now'))
+        doc = db.create({"S": "x"})
+        clock.advance(5)
+        db.update(doc.unid, {"S": "y"})
+        assert db.get(doc.unid).get("Touched") == clock.now
+
+    def test_agent_writes_do_not_cascade(self, db, runner):
+        counter = {"runs": 0}
+
+        def action(doc, database):
+            counter["runs"] += 1
+            return {"Counter": counter["runs"]}
+
+        runner.add(Agent(name="loopy", trigger=AgentTrigger.ON_UPDATE,
+                         action=action))
+        doc = db.create({"S": "x"})
+        assert counter["runs"] == 1  # not re-triggered by its own write
+
+    def test_python_action_returning_none_writes_nothing(self, db, runner):
+        runner.add(Agent(name="watcher", trigger=AgentTrigger.ON_CREATE,
+                         action=lambda d, database: None))
+        doc = db.create({"S": "x"})
+        assert db.get(doc.unid).seq == 1  # untouched
+
+    def test_agent_author_recorded(self, db, runner):
+        runner.add(Agent(name="router-bot", trigger=AgentTrigger.ON_CREATE,
+                         formula='FIELD Routed := 1'))
+        doc = db.create({"S": "x"}, author="alice")
+        assert db.get(doc.unid).updated_by == ["alice", "router-bot/agent"]
+
+
+class TestScheduledAndManual:
+    def test_scheduled_agent_fires_on_interval(self, db, clock, runner):
+        events = EventScheduler(clock)
+        agent = runner.add(
+            Agent(name="sched", trigger=AgentTrigger.SCHEDULED,
+                  formula='FIELD Seen := 1', interval=10, scan="all"),
+            events,
+        )
+        db.create({"S": "x"})
+        events.run_until(35)
+        assert agent.runs == 3
+
+    def test_manual_agent_processes_changed_only(self, db, clock, runner):
+        processed = []
+        agent = runner.add(
+            Agent(name="m", action=lambda d, database: processed.append(d.unid))
+        )
+        clock.advance(1)
+        first = db.create({"S": "1"})
+        clock.advance(1)
+        runner.run_agent(agent)
+        clock.advance(1)
+        second = db.create({"S": "2"})
+        clock.advance(1)
+        runner.run_agent(agent)
+        assert processed == [first.unid, second.unid]
+
+    def test_full_scan_revisits_everything(self, db, clock, runner):
+        processed = []
+        agent = runner.add(
+            Agent(name="m", action=lambda d, database: processed.append(d.unid))
+        )
+        doc = db.create({"S": "x"})
+        clock.advance(1)
+        runner.run_agent(agent)
+        clock.advance(1)
+        runner.run_agent(agent, full_scan=True)
+        assert processed == [doc.unid, doc.unid]
+
+    def test_run_all_manual_skips_triggered(self, db, runner):
+        hits = []
+        runner.add(Agent(name="manual", action=lambda d, database: hits.append("m")))
+        runner.add(Agent(name="event", trigger=AgentTrigger.ON_CREATE,
+                         action=lambda d, database: hits.append("e")))
+        db.create({"S": "x"})
+        db.clock.advance(1)
+        runner.run_all_manual()
+        assert hits == ["e", "m"]
+
+    def test_formula_agent_multistatement(self, db, runner, clock):
+        runner.add(Agent(
+            name="classify", trigger=AgentTrigger.ON_CREATE,
+            formula=(
+                'FIELD Bucket := @If(Amount > 100; "big"; "small"); '
+                'FIELD Reviewed := 0'
+            ),
+        ))
+        big = db.create({"Amount": 500})
+        small = db.create({"Amount": 5})
+        assert db.get(big.unid).get("Bucket") == "big"
+        assert db.get(small.unid).get("Bucket") == "small"
+        assert db.get(small.unid).get("Reviewed") == 0
+
+    def test_docs_processed_counter(self, db, clock, runner):
+        agent = runner.add(Agent(name="c", formula='FIELD T := 1'))
+        for index in range(4):
+            db.create({"S": str(index)})
+        clock.advance(1)
+        touched = runner.run_agent(agent)
+        assert touched == 4
+        assert agent.docs_processed == 4

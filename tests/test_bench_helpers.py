@@ -1,0 +1,71 @@
+"""Tests for the benchmark harness helpers."""
+
+import random
+
+from repro.bench.runners import build_deployment, populate
+from repro.bench.tables import print_table
+
+
+class TestTables:
+    def test_alignment_and_formatting(self, capsys):
+        text = print_table(
+            "demo",
+            ["name", "count", "ratio"],
+            [["alpha", 12_345, 0.5], ["b", 7, 1234.5]],
+            note="a note",
+        )
+        captured = capsys.readouterr().out
+        assert text in captured
+        assert "12,345" in text
+        assert "0.5000" in text
+        assert "1,235" in text or "1,234" in text
+        assert "a note" in text
+        lines = text.splitlines()
+        header = next(line for line in lines if "name" in line)
+        separator = lines[lines.index(header) + 1]
+        assert len(separator) >= len(header.rstrip())
+
+    def test_empty_rows(self):
+        text = print_table("empty", ["a", "b"], [])
+        assert "empty" in text
+
+    def test_boolean_rendering(self):
+        text = print_table("flags", ["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+
+class TestDeployment:
+    def test_replicas_share_family(self):
+        deployment = build_deployment(4)
+        ids = {db.replica_id for db in deployment.databases}
+        assert len(ids) == 1
+        assert len(deployment.network.servers) == 4
+        assert deployment.origin is deployment.databases[0]
+
+    def test_servers_hold_their_databases(self):
+        deployment = build_deployment(3)
+        for index, db in enumerate(deployment.databases):
+            server = deployment.network.server(f"srv{index}")
+            assert server.replica_of(db.replica_id) is db
+
+    def test_deterministic_for_seed(self):
+        a = build_deployment(2, seed=7)
+        b = build_deployment(2, seed=7)
+        populate(a.databases[0], 10, random.Random(1))
+        populate(b.databases[0], 10, random.Random(1))
+        subjects_a = sorted(d.get("Subject") for d in a.databases[0].all_documents())
+        subjects_b = sorted(d.get("Subject") for d in b.databases[0].all_documents())
+        assert subjects_a == subjects_b
+
+    def test_populate_advances_clock(self):
+        deployment = build_deployment(1)
+        before = deployment.clock.now
+        populate(deployment.origin, 8, deployment.rng, advance=0.5)
+        assert deployment.clock.now == before + 4.0
+        assert len(deployment.origin) == 8
+
+    def test_populate_body_size(self):
+        deployment = build_deployment(1)
+        populate(deployment.origin, 3, deployment.rng, body_bytes=800)
+        for doc in deployment.origin.all_documents():
+            assert len(doc.get("Body")) > 400

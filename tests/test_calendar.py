@@ -1,0 +1,190 @@
+"""Tests for calendar & scheduling: busy time, free-time search, booking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calendar import (
+    BusyTimeIndex,
+    Interval,
+    book_meeting,
+    find_free_slots,
+    make_appointment,
+)
+from repro.calendar.busytime import CalendarError, merge_intervals
+
+
+@pytest.fixture
+def index(db):
+    return BusyTimeIndex([db])
+
+
+def busy(db, person, start, end, attendees=()):
+    return db.create(
+        make_appointment(person, f"mtg {start}", start, end,
+                         attendees=list(attendees)),
+        author=person,
+    )
+
+
+class TestIntervals:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(CalendarError):
+            Interval(5, 5)
+
+    def test_overlap(self):
+        assert Interval(0, 10).overlaps(Interval(5, 15))
+        assert not Interval(0, 10).overlaps(Interval(10, 20))  # half-open
+
+    def test_merge_coalesces(self):
+        merged = merge_intervals(
+            [Interval(0, 5), Interval(4, 8), Interval(10, 12)]
+        )
+        assert merged == [Interval(0, 8), Interval(10, 12)]
+
+    def test_merge_adjacent(self):
+        assert merge_intervals([Interval(0, 5), Interval(5, 8)]) == [
+            Interval(0, 8)
+        ]
+
+
+class TestBusyTime:
+    def test_appointment_marks_chair_and_attendees(self, db, index):
+        busy(db, "alice", 100, 200, attendees=["bob"])
+        assert index.busy_intervals("alice") == [Interval(100, 200)]
+        assert index.busy_intervals("bob") == [Interval(100, 200)]
+        assert index.busy_intervals("carol") == []
+
+    def test_non_appointments_ignored(self, db, index):
+        db.create({"Form": "Memo", "StartTime": 0, "EndTime": 10,
+                   "Chair": ["alice"]})
+        assert index.busy_intervals("alice") == []
+
+    def test_reschedule_moves_interval(self, db, index):
+        doc = busy(db, "alice", 100, 200)
+        db.update(doc.unid, {"StartTime": 300.0, "EndTime": 400.0})
+        assert index.busy_intervals("alice") == [Interval(300, 400)]
+
+    def test_cancel_frees_time(self, db, index):
+        doc = busy(db, "alice", 100, 200)
+        db.delete(doc.unid)
+        assert index.busy_intervals("alice") == []
+        assert index.is_free("alice", 100, 200)
+
+    def test_replicated_appointments_counted(self, pair, clock):
+        from repro.replication import Replicator
+
+        a, b = pair
+        index = BusyTimeIndex([b])
+        busy(a, "alice", 50, 60)
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        assert index.busy_intervals("alice") == [Interval(50, 60)]
+
+    def test_free_intervals_within_window(self, db, index):
+        busy(db, "alice", 100, 200)
+        busy(db, "alice", 300, 400)
+        free = index.free_intervals("alice", 0, 500)
+        assert free == [Interval(0, 100), Interval(200, 300),
+                        Interval(400, 500)]
+
+    def test_free_intervals_clip_to_window(self, db, index):
+        busy(db, "alice", 0, 100)
+        assert index.free_intervals("alice", 50, 150) == [Interval(100, 150)]
+
+    def test_fully_busy_window(self, db, index):
+        busy(db, "alice", 0, 100)
+        assert index.free_intervals("alice", 10, 90) == []
+
+    def test_bad_window_rejected(self, index):
+        with pytest.raises(CalendarError):
+            index.free_intervals("alice", 10, 10)
+
+
+class TestFreeTimeSearch:
+    def test_single_person(self, db, index):
+        busy(db, "alice", 100, 200)
+        slots = find_free_slots(index, ["alice"], 0, 300, duration=50)
+        assert slots[0] == Interval(0, 50)
+        assert all(index.is_free("alice", s.start, s.end) for s in slots)
+
+    def test_intersection_of_two_people(self, db, index):
+        busy(db, "alice", 0, 100)
+        busy(db, "bob", 150, 300)
+        slots = find_free_slots(index, ["alice", "bob"], 0, 400, duration=50)
+        assert slots[0] == Interval(100, 150)
+
+    def test_no_slot_available(self, db, index):
+        busy(db, "alice", 0, 100)
+        busy(db, "bob", 100, 200)
+        assert find_free_slots(index, ["alice", "bob"], 0, 200, 50) == []
+
+    def test_limit_respected(self, db, index):
+        slots = find_free_slots(index, ["idle"], 0, 10_000, 100, limit=3)
+        assert len(slots) == 3
+
+    def test_duration_longer_than_gaps(self, db, index):
+        busy(db, "alice", 100, 110)
+        busy(db, "alice", 200, 210)
+        slots = find_free_slots(index, ["alice"], 95, 215, duration=95)
+        assert slots == []
+
+    def test_bad_arguments_rejected(self, index):
+        with pytest.raises(CalendarError):
+            find_free_slots(index, [], 0, 100, 10)
+        with pytest.raises(CalendarError):
+            find_free_slots(index, ["a"], 0, 100, 0)
+
+
+class TestBooking:
+    def test_booking_takes_earliest_slot(self, db, index):
+        busy(db, "alice", 0, 100)
+        doc = book_meeting(db, index, "alice", "sync", ["bob"], 0, 500, 60)
+        assert doc.get("StartTime") == 100.0
+        assert doc.get("EndTime") == 160.0
+
+    def test_consecutive_bookings_stack(self, db, index):
+        first = book_meeting(db, index, "alice", "a", ["bob"], 0, 1000, 100)
+        second = book_meeting(db, index, "alice", "b", ["bob"], 0, 1000, 100)
+        assert first.get("EndTime") <= second.get("StartTime")
+        assert not Interval(
+            first.get("StartTime"), first.get("EndTime")
+        ).overlaps(Interval(second.get("StartTime"), second.get("EndTime")))
+
+    def test_booking_fails_when_no_slot(self, db, index):
+        busy(db, "alice", 0, 200)
+        with pytest.raises(CalendarError):
+            book_meeting(db, index, "alice", "x", [], 0, 200, 60)
+
+    def test_chair_not_double_counted(self, db, index):
+        doc = book_meeting(db, index, "alice", "solo", ["alice"], 0, 100, 50)
+        assert doc.get_list("Chair") == ["alice"]
+
+
+time_points = st.integers(min_value=0, max_value=200)
+
+
+@given(
+    meetings=st.lists(
+        st.tuples(time_points, st.integers(min_value=1, max_value=40)),
+        max_size=12,
+    ),
+    duration=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_slots_never_overlap_busy_time(meetings, duration):
+    """Every slot returned by free-time search is genuinely free."""
+    import random
+
+    from repro.core import NotesDatabase
+
+    db = NotesDatabase("cal.nsf", rng=random.Random(4))
+    index = BusyTimeIndex([db])
+    for start, length in meetings:
+        busy(db, "alice", start, start + length)
+    slots = find_free_slots(index, ["alice"], 0, 400, duration, limit=10)
+    for slot in slots:
+        assert index.is_free("alice", slot.start, slot.end)
+    # slots are disjoint and sorted
+    for before, after in zip(slots, slots[1:]):
+        assert before.end <= after.start

@@ -1,0 +1,93 @@
+"""Tests for the database catalog task."""
+
+import random
+
+import pytest
+
+from repro.core import NotesDatabase
+from repro.replication import SimulatedNetwork
+from repro.sim import VirtualClock
+from repro.tools import replicas_of, update_catalog
+
+
+@pytest.fixture
+def world():
+    clock = VirtualClock()
+    network = SimulatedNetwork(clock)
+    for name in ("s1", "s2"):
+        network.add_server(name)
+    db = NotesDatabase("app.nsf", clock=clock, rng=random.Random(1),
+                       server="s1")
+    network.server("s1").add_database(db)
+    replica = db.new_replica("s2")
+    network.server("s2").add_database(replica)
+    other = NotesDatabase("other.nsf", clock=clock, rng=random.Random(2),
+                          server="s1")
+    network.server("s1").add_database(other)
+    catalog = NotesDatabase("catalog.nsf", clock=clock,
+                            rng=random.Random(3), server="s1")
+    return clock, network, db, replica, other, catalog
+
+
+class TestCatalog:
+    def test_one_entry_per_replica(self, world):
+        clock, network, db, replica, other, catalog = world
+        count = update_catalog(catalog, network)
+        assert count == 3  # app on s1, app on s2, other on s1
+
+    def test_entry_contents(self, world):
+        clock, network, db, replica, other, catalog = world
+        db.create({"Subject": "x"})
+        update_catalog(catalog, network)
+        entry = next(
+            doc for doc in catalog.all_documents()
+            if doc.get("ReplicaId") == db.replica_id and doc.get("Server") == "s1"
+        )
+        assert entry.get("Title") == "app.nsf"
+        assert entry.get("Documents") == 1
+        assert entry.get("SizeBytes") > 0
+
+    def test_refresh_updates_in_place(self, world):
+        clock, network, db, replica, other, catalog = world
+        update_catalog(catalog, network)
+        before = len(catalog)
+        db.create({"Subject": "more"})
+        clock.advance(1)
+        update_catalog(catalog, network)
+        assert len(catalog) == before  # updated, not duplicated
+        entry = next(
+            doc for doc in catalog.all_documents()
+            if doc.get("ReplicaId") == db.replica_id and doc.get("Server") == "s1"
+        )
+        assert entry.get("Documents") == 1
+
+    def test_vanished_database_removed(self, world):
+        clock, network, db, replica, other, catalog = world
+        update_catalog(catalog, network)
+        del network.server("s1").databases[other.replica_id]
+        update_catalog(catalog, network)
+        titles = [doc.get("Title") for doc in catalog.all_documents()]
+        assert "other.nsf" not in titles
+
+    def test_replicas_of(self, world):
+        clock, network, db, replica, other, catalog = world
+        update_catalog(catalog, network)
+        assert replicas_of(catalog, db.replica_id) == ["s1", "s2"]
+        assert replicas_of(catalog, other.replica_id) == ["s1"]
+        assert replicas_of(catalog, "F" * 16) == []
+
+    def test_catalog_is_viewable(self, world):
+        from repro.views import SortOrder, View, ViewColumn
+
+        clock, network, db, replica, other, catalog = world
+        update_catalog(catalog, network)
+        view = View(
+            catalog, "ByServer",
+            selection='SELECT Form = "Database"',
+            columns=[
+                ViewColumn(title="Server", item="Server", categorized=True),
+                ViewColumn(title="Title", item="Title",
+                           sort=SortOrder.ASCENDING),
+            ],
+        )
+        assert len(view) == 3

@@ -1,0 +1,48 @@
+"""Tests for UNIDs and originator ids."""
+
+import random
+
+import pytest
+
+from repro.core import OriginatorId, new_replica_id, new_unid
+
+
+class TestIds:
+    def test_unid_format(self):
+        unid = new_unid(random.Random(1))
+        assert len(unid) == 32
+        int(unid, 16)  # hex
+
+    def test_replica_id_format(self):
+        rid = new_replica_id(random.Random(1))
+        assert len(rid) == 16
+        int(rid, 16)
+
+    def test_determinism_from_seed(self):
+        assert new_unid(random.Random(5)) == new_unid(random.Random(5))
+
+    def test_distinct_draws(self):
+        rng = random.Random(2)
+        assert len({new_unid(rng) for _ in range(1000)}) == 1000
+
+
+class TestOriginatorId:
+    def test_higher_seq_is_newer(self):
+        a = OriginatorId("U", 2, (5.0, 1))
+        b = OriginatorId("U", 1, (9.0, 9))
+        assert a.newer_than(b) and not b.newer_than(a)
+
+    def test_equal_seq_tie_breaks_on_time(self):
+        a = OriginatorId("U", 2, (5.0, 2))
+        b = OriginatorId("U", 2, (5.0, 1))
+        assert a.newer_than(b)
+
+    def test_identical_not_newer(self):
+        a = OriginatorId("U", 1, (1.0, 1))
+        assert not a.newer_than(a)
+
+    def test_cross_note_comparison_rejected(self):
+        a = OriginatorId("U1", 1, (1.0, 1))
+        b = OriginatorId("U2", 1, (1.0, 1))
+        with pytest.raises(ValueError):
+            a.newer_than(b)

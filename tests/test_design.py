@@ -1,0 +1,248 @@
+"""Tests for design elements as notes and application refresh."""
+
+import pytest
+
+from repro.agents import Agent, AgentTrigger
+from repro.design import Application, agent_to_items, view_to_items
+from repro.design.elements import agent_from_doc, view_params_from_doc
+from repro.errors import ViewError
+from repro.replication import Replicator, converged
+from repro.sim import EventScheduler
+from repro.views import SortOrder, ViewColumn
+
+
+@pytest.fixture
+def app(db):
+    return Application(db)
+
+
+def people_columns():
+    return [ViewColumn(title="Name", item="Name", sort=SortOrder.ASCENDING)]
+
+
+class TestSerialization:
+    def test_view_roundtrip(self, db, app):
+        app.save_view("People", 'SELECT Form = "Person"', people_columns(),
+                      hierarchical=True)
+        design_doc = next(
+            doc for doc in db.all_documents()
+            if doc.get("Form") == "$DesignView"
+        )
+        params = view_params_from_doc(design_doc)
+        assert params["name"] == "People"
+        assert params["selection"] == 'SELECT Form = "Person"'
+        assert params["hierarchical"] is True
+        assert params["columns"][0].sort == SortOrder.ASCENDING
+
+    def test_agent_roundtrip(self, db, app):
+        original = Agent(name="stamp", trigger=AgentTrigger.ON_CREATE,
+                         selection='SELECT Form = "X"',
+                         formula='FIELD T := 1', scan="all")
+        app.save_agent(original)
+        design_doc = next(
+            doc for doc in db.all_documents()
+            if doc.get("Form") == "$DesignAgent"
+        )
+        rebuilt = agent_from_doc(design_doc)
+        assert rebuilt.name == "stamp"
+        assert rebuilt.trigger == AgentTrigger.ON_CREATE
+        assert rebuilt.formula == 'FIELD T := 1'
+        assert rebuilt.scan == "all"
+
+    def test_python_agent_not_serializable(self):
+        agent = Agent(name="py", action=lambda d, db: None)
+        with pytest.raises(ViewError):
+            agent_to_items(agent)
+
+    def test_wrong_form_rejected(self, db):
+        doc = db.create({"Form": "Memo"})
+        with pytest.raises(ViewError):
+            view_params_from_doc(doc)
+        with pytest.raises(ViewError):
+            agent_from_doc(doc)
+
+
+class TestApplication:
+    def test_save_view_is_live(self, db, app):
+        app.save_view("People", 'SELECT Form = "Person"', people_columns())
+        db.create({"Form": "Person", "Name": "zoe"})
+        db.create({"Form": "Person", "Name": "ann"})
+        assert [e.values[0] for e in app.view("People").entries()] == [
+            "ann", "zoe",
+        ]
+
+    def test_design_notes_invisible_in_data_views(self, db, app):
+        app.save_view("All", "SELECT @All", people_columns())
+        db.create({"Form": "Person", "Name": "x"})
+        assert len(app.view("All")) == 1
+
+    def test_save_view_replaces(self, db, app):
+        app.save_view("People", 'SELECT Form = "Person"', people_columns())
+        db.create({"Form": "Person", "Name": "a"})
+        db.create({"Form": "Person", "Name": "b"})
+        app.save_view(
+            "People", 'SELECT Form = "Person"',
+            [ViewColumn(title="Name", item="Name", sort=SortOrder.DESCENDING)],
+        )
+        assert [e.values[0] for e in app.view("People").entries()] == ["b", "a"]
+        # still exactly one design note for the view
+        count = sum(
+            1 for doc in db.all_documents()
+            if doc.get("Form") == "$DesignView"
+        )
+        assert count == 1
+
+    def test_unknown_view_rejected(self, app):
+        with pytest.raises(ViewError):
+            app.view("ghost")
+
+    def test_saved_agent_fires(self, db, app):
+        app.save_agent(Agent(name="greet", trigger=AgentTrigger.ON_CREATE,
+                             selection='SELECT Form = "Person"',
+                             formula='FIELD Greeted := 1'))
+        doc = db.create({"Form": "Person", "Name": "x"})
+        assert db.get(doc.unid).get("Greeted") == 1
+
+    def test_scheduled_agent_needs_events(self, db):
+        app = Application(db)
+        with pytest.raises(ViewError):
+            app.save_agent(Agent(name="cron", trigger=AgentTrigger.SCHEDULED,
+                                 formula='FIELD X := 1', interval=5))
+
+    def test_scheduled_agent_with_events(self, db, clock):
+        events = EventScheduler(clock)
+        app = Application(db, events=events)
+        app.save_agent(Agent(name="cron", trigger=AgentTrigger.SCHEDULED,
+                             formula='FIELD Ticked := 1', interval=5,
+                             scan="all"))
+        doc = db.create({"Subject": "x"})
+        events.run_until(6)
+        assert db.get(doc.unid).get("Ticked") == 1
+
+
+class TestAclAsDesignNote:
+    def test_save_acl_activates_locally(self, db):
+        from repro.security import AccessControlList, AclLevel
+
+        app = Application(db)
+        acl = AccessControlList(default_level=AclLevel.READER,
+                                groups={"Staff": ["bob/Acme"]})
+        acl.add("alice/Acme", AclLevel.MANAGER, roles=["Admin"])
+        acl.add("Staff", AclLevel.EDITOR)
+        acl.add("designer", AclLevel.MANAGER)
+        app.save_acl(acl)
+        assert db.acl is not None
+        assert db.acl.level_of("alice/Acme") == AclLevel.MANAGER
+        assert db.acl.level_of("bob/Acme") == AclLevel.EDITOR
+        assert db.acl.level_of("stranger") == AclLevel.READER
+        assert db.acl.roles_of("alice/Acme") == {"Admin"}
+
+    def test_acl_replicates_and_takes_effect(self, pair, clock):
+        from repro.errors import AccessDenied
+        from repro.security import AccessControlList, AclLevel
+
+        a, b = pair
+        app_a = Application(a)
+        acl = AccessControlList(default_level=AclLevel.READER)
+        acl.add("writer/Acme", AclLevel.EDITOR)
+        acl.add("designer", AclLevel.MANAGER)
+        app_a.save_acl(acl)
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        Application(b)  # opening the replica applies the replicated ACL
+        assert b.acl is not None
+        b.create({"S": "allowed"}, author="writer/Acme")
+        with pytest.raises(AccessDenied):
+            b.create({"S": "denied"}, author="reader/Acme")
+
+    def test_acl_update_reaches_open_replica(self, pair, clock):
+        from repro.security import AccessControlList, AclLevel
+
+        a, b = pair
+        app_a = Application(a)
+        first = AccessControlList(default_level=AclLevel.READER)
+        first.add("designer", AclLevel.MANAGER)
+        app_a.save_acl(first)
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        app_b = Application(b)
+        assert b.acl.level_of("x") == AclLevel.READER
+        clock.advance(1)
+        second = AccessControlList(default_level=AclLevel.NO_ACCESS)
+        second.add("designer", AclLevel.MANAGER)
+        app_a.save_acl(second)
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        assert b.acl.level_of("x") == AclLevel.NO_ACCESS
+
+    def test_single_acl_note(self, db):
+        from repro.security import AccessControlList, AclLevel
+
+        app = Application(db)
+        first = AccessControlList(default_level=AclLevel.READER)
+        first.add("designer", AclLevel.MANAGER)
+        app.save_acl(first)
+        second = AccessControlList(default_level=AclLevel.EDITOR)
+        second.add("designer", AclLevel.MANAGER)
+        app.save_acl(second)
+        count = sum(
+            1 for doc in db.all_documents()
+            if doc.get("Form") == "$DesignACL"
+        )
+        assert count == 1
+
+
+class TestDesignReplication:
+    def test_application_replicates_with_data(self, pair, clock):
+        a, b = pair
+        app_a = Application(a)
+        app_a.save_view("People", 'SELECT Form = "Person"', people_columns())
+        app_a.save_agent(Agent(name="greet", trigger=AgentTrigger.ON_CREATE,
+                               selection='SELECT Form = "Person"',
+                               formula='FIELD Greeted := 1'))
+        a.create({"Form": "Person", "Name": "ann"})
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        app_b = Application(b)
+        assert app_b.view_names == ["People"]
+        assert app_b.agent_names == ["greet"]
+        assert len(app_b.view("People")) == 1
+        doc = b.create({"Form": "Person", "Name": "bee"})
+        assert b.get(doc.unid).get("Greeted") == 1
+
+    def test_design_change_refreshes_open_replica(self, pair, clock):
+        a, b = pair
+        app_a = Application(a)
+        app_a.save_view("People", 'SELECT Form = "Person"', people_columns())
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        app_b = Application(b)  # opened BEFORE the design change
+        b.create({"Form": "Person", "Name": "bee"})
+        b.create({"Form": "Memo", "Name": "not a person"})
+        assert len(app_b.view("People")) == 1
+        clock.advance(1)
+        app_a.save_view("People", "SELECT @All", people_columns())
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        # the replicated design note refreshed the live view
+        assert len(app_b.view("People")) == 2
+
+    def test_concurrent_design_edits_conflict_like_data(self, pair, clock):
+        a, b = pair
+        app_a = Application(a)
+        app_a.save_view("V", 'SELECT Form = "X"', people_columns())
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        app_b = Application(b)
+        clock.advance(1)
+        app_a.save_view("V", 'SELECT Form = "A"', people_columns())
+        clock.advance(1)
+        app_b.save_view("V", 'SELECT Form = "B"', people_columns())
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        assert converged([a, b])
+        # both replicas show the same (winning) design
+        assert (app_a.view("V").selection_source
+                == app_b.view("V").selection_source)

@@ -1,0 +1,81 @@
+"""Tests for the calendar and name @functions."""
+
+import pytest
+
+from repro.errors import FormulaEvalError, FormulaSyntaxError
+from repro.formula import compile_formula
+
+
+def ev(source):
+    return compile_formula(source).evaluate()
+
+
+class TestDateFunctions:
+    def test_date_builds_epoch_seconds(self):
+        assert ev("@Date(1970; 1; 1)") == [0.0]
+        assert ev("@Date(1970; 1; 2)") == [86400.0]
+
+    def test_date_with_time_of_day(self):
+        assert ev("@Date(1970; 1; 1; 1; 30; 15)") == [5415.0]
+
+    def test_component_extraction(self):
+        stamp = "@Date(1999; 9; 7; 14; 45; 30)"
+        assert ev(f"@Year({stamp})") == [1999]
+        assert ev(f"@Month({stamp})") == [9]
+        assert ev(f"@Day({stamp})") == [7]
+        assert ev(f"@Hour({stamp})") == [14]
+        assert ev(f"@Minute({stamp})") == [45]
+
+    def test_weekday_notes_convention(self):
+        # 1999-09-05 was a Sunday -> 1; Saturday -> 7
+        assert ev("@Weekday(@Date(1999; 9; 5))") == [1]
+        assert ev("@Weekday(@Date(1999; 9; 11))") == [7]
+
+    def test_adjust_days_and_hours(self):
+        assert ev("@Adjust(@Date(1999; 12; 31); 0; 0; 1; 0; 0; 0)") == ev(
+            "@Date(2000; 1; 1)"
+        )
+        assert ev("@Adjust(0; 0; 0; 0; 2; 30; 0)") == [9000.0]
+
+    def test_adjust_months_clamps_to_month_end(self):
+        # Jan 31 + 1 month -> Feb 29 in a leap year, Feb 28 otherwise
+        assert ev("@Day(@Adjust(@Date(2000; 1; 31); 0; 1; 0; 0; 0; 0))") == [29]
+        assert ev("@Day(@Adjust(@Date(1999; 1; 31); 0; 1; 0; 0; 0; 0))") == [28]
+
+    def test_adjust_years_across_month_overflow(self):
+        assert ev("@Month(@Adjust(@Date(1999; 11; 15); 0; 3; 0; 0; 0; 0))") == [2]
+        assert ev("@Year(@Adjust(@Date(1999; 11; 15); 0; 3; 0; 0; 0; 0))") == [2000]
+
+    def test_date_functions_are_list_mapped(self):
+        assert ev("@Year(@Date(1999;1;1):@Date(2001;1;1))") == [1999, 2001]
+
+    def test_text_input_rejected(self):
+        with pytest.raises(FormulaEvalError):
+            ev('@Year("not a date")')
+
+
+class TestNameFunction:
+    def test_abbreviate(self):
+        assert ev('@Name([Abbreviate]; "CN=A B/OU=S/O=Acme")') == ["A B/S/Acme"]
+
+    def test_canonicalize(self):
+        assert ev('@Name([Canonicalize]; "a/s/Acme")') == ["CN=a/OU=s/O=Acme"]
+
+    def test_common_name(self):
+        assert ev('@Name([CN]; "alice/sales/acme")') == ["alice"]
+
+    def test_org(self):
+        assert ev('@Name([O]; "alice/sales/acme")') == ["acme"]
+        assert ev('@Name([O]; "flat-name")') == [""]
+
+    def test_maps_over_lists(self):
+        assert ev('@Name([CN]; "a/x":"b/y")') == ["a", "b"]
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FormulaEvalError):
+            ev('@Name([Reverse]; "a/b")')
+
+    def test_keyword_literal_lexing(self):
+        assert ev("@Sort(2:1:3; [DESCENDING])") == [3, 2, 1]
+        with pytest.raises(FormulaSyntaxError):
+            ev("@Name([Oops; 1)")

@@ -1,0 +1,152 @@
+"""Tests for formula evaluation semantics (lists, broadcasting, selection)."""
+
+import pytest
+
+from repro.core import Document
+from repro.errors import FormulaEvalError
+from repro.formula import compile_formula
+
+
+def ev(source, doc=None, **kw):
+    return compile_formula(source).evaluate(doc, **kw)
+
+
+@pytest.fixture
+def doc():
+    document = Document("A" * 32, seq=2, seq_time=(10.0, 3), created=1.0,
+                        modified=10.0, updated_by=["alice/Acme", "bob/Acme"])
+    document.set_all(
+        {
+            "Form": "Order",
+            "Subject": "Big Deal",
+            "Amount": 250,
+            "Quantities": [1, 2, 3],
+            "Categories": ["west", "north"],
+        }
+    )
+    return document
+
+
+class TestListSemantics:
+    def test_everything_is_a_list(self):
+        assert ev("42") == [42]
+        assert ev('"text"') == ["text"]
+
+    def test_list_concatenation(self):
+        assert ev("1:2:3") == [1, 2, 3]
+        assert ev('"a":"b"') == ["a", "b"]
+
+    def test_broadcast_arithmetic(self):
+        assert ev("1:2:3 + 10") == [11, 12, 13]
+        assert ev("1:2 + 10:20") == [11, 22]
+
+    def test_shorter_list_pads_with_last(self):
+        assert ev("1:2:3 + 10:20") == [11, 22, 23]
+
+    def test_string_concat_via_plus(self):
+        assert ev('"a":"b" + "!"') == ["a!", "b!"]
+
+    def test_mixed_type_arithmetic_rejected(self):
+        with pytest.raises(FormulaEvalError):
+            ev('1 + "x"')
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(FormulaEvalError):
+            ev("4 / 0")
+
+    def test_unary_minus_maps(self):
+        assert ev("-(1:2)") == [-1, -2]
+
+
+class TestComparisons:
+    def test_any_pair_equality(self, doc):
+        assert ev('Categories = "north"', doc) == [1]
+        assert ev('Categories = "south"', doc) == [0]
+
+    def test_equality_against_list_literal(self, doc):
+        assert ev('Form = "Order":"Invoice"', doc) == [1]
+
+    def test_inequality(self):
+        assert ev("1 != 2") == [1]
+        assert ev("1 != 1") == [0]
+
+    def test_ordering(self):
+        assert ev("3 > 2") == [1]
+        assert ev("2 >= 2") == [1]
+        assert ev('"apple" < "banana"') == [1]
+
+    def test_text_compare_case_insensitive(self):
+        assert ev('"ABC" = "abc"') == [1]
+
+    def test_ordering_mixed_types_rejected(self):
+        with pytest.raises(FormulaEvalError):
+            ev('1 < "x"')
+
+    def test_logical_and_or_not(self):
+        assert ev("1 & 1") == [1]
+        assert ev("1 & 0") == [0]
+        assert ev("0 | 1") == [1]
+        assert ev("!1") == [0]
+
+    def test_and_short_circuits(self):
+        # the right side would divide by zero
+        assert ev("0 & (1/0)") == [0]
+
+
+class TestFieldsAndVariables:
+    def test_field_reference(self, doc):
+        assert ev("Amount", doc) == [250]
+        assert ev("Quantities", doc) == [1, 2, 3]
+
+    def test_missing_field_is_empty_string(self, doc):
+        assert ev("Nonexistent", doc) == [""]
+
+    def test_temp_variable(self, doc):
+        assert ev("x := Amount * 2; x + 1", doc) == [501]
+
+    def test_variable_shadows_field(self, doc):
+        assert ev('Amount := "shadowed"; Amount', doc) == ["shadowed"]
+        assert doc.get("Amount") == 250
+
+    def test_field_assignment_goes_to_overlay(self, doc):
+        formula = compile_formula('FIELD Status := "approved"; Status')
+        from repro.formula import EvalContext
+
+        ctx = EvalContext(doc=doc)
+        result = formula.run(ctx)
+        assert result == ["approved"]
+        assert ctx.field_writes == {"Status": ["approved"]}
+        assert "Status" not in doc
+
+    def test_default_only_when_absent(self, doc):
+        assert ev('DEFAULT Amount := 999; Amount', doc) == [250]
+        assert ev('DEFAULT Missing := 7; Missing', doc) == [7]
+
+
+class TestSelection:
+    def test_select_true(self, doc):
+        assert compile_formula('SELECT Form = "Order"').select(doc)
+
+    def test_select_false(self, doc):
+        assert not compile_formula('SELECT Form = "Memo"').select(doc)
+
+    def test_select_all(self, doc):
+        assert compile_formula("SELECT @All").select(doc)
+
+    def test_compound_selection(self, doc):
+        formula = 'SELECT Form = "Order" & Amount > 100 & @Contains(Subject; "deal")'
+        assert compile_formula(formula).select(doc)
+
+    def test_bare_expression_acts_as_selection(self, doc):
+        assert compile_formula("Amount > 100").select(doc)
+
+    def test_select_ex_reports_hierarchy_flags(self, doc):
+        formula = compile_formula('SELECT Form = "Topic" | @AllDescendants')
+        selected, children, descendants = formula.select_ex(doc)
+        assert not selected
+        assert descendants and not children
+
+    def test_allchildren_flag(self, doc):
+        formula = compile_formula('SELECT Form = "Topic" | @AllChildren')
+        _, children, descendants = formula.select_ex(doc)
+        assert children and not descendants

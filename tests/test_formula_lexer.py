@@ -1,0 +1,77 @@
+"""Tests for the formula tokenizer."""
+
+import pytest
+
+from repro.errors import FormulaSyntaxError
+from repro.formula import tokenize
+from repro.formula.lexer import TokenType
+
+
+def kinds(source):
+    return [(t.type, t.text) for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestLexer:
+    def test_numbers(self):
+        assert kinds("42 3.14") == [
+            (TokenType.NUMBER, "42"),
+            (TokenType.NUMBER, "3.14"),
+        ]
+
+    def test_strings(self):
+        assert kinds('"hello world"') == [(TokenType.STRING, "hello world")]
+
+    def test_string_escapes(self):
+        assert kinds(r'"say \"hi\""') == [(TokenType.STRING, 'say "hi"')]
+
+    def test_brace_strings(self):
+        assert kinds("{curly text}") == [(TokenType.STRING, "curly text")]
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(FormulaSyntaxError):
+            tokenize('"oops')
+        with pytest.raises(FormulaSyntaxError):
+            tokenize("{oops")
+
+    def test_at_functions(self):
+        assert kinds("@If @Sum") == [
+            (TokenType.ATFUNC, "@If"),
+            (TokenType.ATFUNC, "@Sum"),
+        ]
+
+    def test_bare_at_rejected(self):
+        with pytest.raises(FormulaSyntaxError):
+            tokenize("@ +")
+
+    def test_identifiers_with_dollar(self):
+        assert kinds("$Conflict Subject_1") == [
+            (TokenType.IDENT, "$Conflict"),
+            (TokenType.IDENT, "Subject_1"),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select Select")[0] == (TokenType.KEYWORD, "select")
+        assert all(k == (TokenType.KEYWORD, "select") for k in kinds("SELECT select"))
+
+    def test_assign_vs_list_operator(self):
+        assert kinds("x := 1:2") == [
+            (TokenType.IDENT, "x"),
+            (TokenType.OP, ":="),
+            (TokenType.NUMBER, "1"),
+            (TokenType.OP, ":"),
+            (TokenType.NUMBER, "2"),
+        ]
+
+    def test_comparison_operators(self):
+        texts = [t for _, t in kinds("a <= b >= c <> d != e")]
+        assert texts == ["a", "<=", "b", ">=", "c", "<>", "d", "!=", "e"]
+
+    def test_unknown_char_rejected(self):
+        with pytest.raises(FormulaSyntaxError):
+            tokenize("a # b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab + cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+        assert tokens[2].pos == 5

@@ -1,0 +1,125 @@
+"""Tests for the formula parser (precedence, statements, errors)."""
+
+import pytest
+
+from repro.errors import FormulaSyntaxError
+from repro.formula import parse
+from repro.formula.nodes import (
+    Assign,
+    BinaryOp,
+    Default,
+    FieldAssign,
+    FieldRef,
+    FuncCall,
+    ListExpr,
+    Literal,
+    Select,
+    UnaryOp,
+)
+
+
+class TestPrecedence:
+    def test_mul_over_add(self):
+        (expr,) = parse("1 + 2 * 3").statements
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_list_over_mul(self):
+        (expr,) = parse("1:2 * 3").statements
+        assert expr.op == "*"
+        assert isinstance(expr.left, ListExpr)
+
+    def test_comparison_over_and(self):
+        (expr,) = parse("a = 1 & b = 2").statements
+        assert expr.op == "&"
+        assert expr.left.op == "=" and expr.right.op == "="
+
+    def test_and_over_or(self):
+        (expr,) = parse("a | b & c").statements
+        assert expr.op == "|"
+        assert expr.right.op == "&"
+
+    def test_parentheses_override(self):
+        (expr,) = parse("(1 + 2) * 3").statements
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_binds_tightest(self):
+        (expr,) = parse("!a & b").statements
+        assert expr.op == "&"
+        assert isinstance(expr.left, UnaryOp)
+
+    def test_diamond_is_not_equal(self):
+        (expr,) = parse("a <> b").statements
+        assert expr.op == "!="
+
+
+class TestStatements:
+    def test_select(self):
+        (stmt,) = parse('SELECT Form = "Memo"').statements
+        assert isinstance(stmt, Select)
+
+    def test_assignment(self):
+        (stmt,) = parse("total := 1 + 2").statements
+        assert isinstance(stmt, Assign) and stmt.name == "total"
+
+    def test_field_assignment(self):
+        (stmt,) = parse('FIELD Status := "done"').statements
+        assert isinstance(stmt, FieldAssign) and stmt.name == "Status"
+
+    def test_default(self):
+        (stmt,) = parse('DEFAULT Color := "red"').statements
+        assert isinstance(stmt, Default)
+
+    def test_rem_dropped(self):
+        statements = parse('REM "note to self"; 42').statements
+        assert len(statements) == 1
+        assert isinstance(statements[0], Literal)
+
+    def test_multi_statement(self):
+        statements = parse("x := 1; y := 2; x + y").statements
+        assert len(statements) == 3
+
+    def test_trailing_semicolon_ok(self):
+        assert len(parse("1;").statements) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(FormulaSyntaxError):
+            parse("")
+        with pytest.raises(FormulaSyntaxError):
+            parse('REM "only a comment"')
+
+
+class TestFunctionCalls:
+    def test_args_split_on_semicolon(self):
+        (call,) = parse('@Left("abc"; 2)').statements
+        assert isinstance(call, FuncCall)
+        assert call.name == "@left" and len(call.args) == 2
+
+    def test_no_arg_call(self):
+        (call,) = parse("@All").statements
+        assert call.args == ()
+
+    def test_empty_parens(self):
+        (call,) = parse("@Now()").statements
+        assert call.args == ()
+
+    def test_nested_calls(self):
+        (call,) = parse("@Sum(@Min(1; 2); @Max(3; 4))").statements
+        assert all(isinstance(arg, FuncCall) for arg in call.args)
+
+    def test_statement_semicolons_not_confused_with_args(self):
+        statements = parse("@Sum(1; 2); @Max(3; 4)").statements
+        assert len(statements) == 2
+
+    def test_missing_rparen_rejected(self):
+        with pytest.raises(FormulaSyntaxError):
+            parse("@Sum(1; 2")
+
+    def test_dangling_operator_rejected(self):
+        with pytest.raises(FormulaSyntaxError):
+            parse("1 +")
+
+    def test_field_ref(self):
+        (expr,) = parse("Subject").statements
+        assert isinstance(expr, FieldRef) and expr.name == "Subject"

@@ -1,0 +1,110 @@
+"""Property-based formula tests: algebraic identities the evaluator must
+satisfy under Notes list semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Document
+from repro.formula import compile_formula
+
+numbers = st.integers(min_value=-10_000, max_value=10_000)
+number_lists = st.lists(numbers, min_size=1, max_size=6)
+texts = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=127),
+    max_size=12,
+)
+
+
+def lit(values):
+    return ":".join(str(v) for v in values)
+
+
+@given(a=number_lists, b=number_lists)
+def test_addition_commutes(a, b):
+    left = compile_formula(f"({lit(a)}) + ({lit(b)})").evaluate()
+    right = compile_formula(f"({lit(b)}) + ({lit(a)})").evaluate()
+    assert left == right
+
+
+@given(a=number_lists)
+def test_double_negation_is_identity(a):
+    assert compile_formula(f"-(-({lit(a)}))").evaluate() == a
+
+
+@given(a=number_lists)
+def test_sum_matches_python(a):
+    assert compile_formula(f"@Sum({lit(a)})").evaluate() == [sum(a)]
+
+
+@given(a=number_lists)
+def test_min_max_bound_every_element(a):
+    low = compile_formula(f"@Min({lit(a)})").evaluate()[0]
+    high = compile_formula(f"@Max({lit(a)})").evaluate()[0]
+    assert low == min(a) and high == max(a)
+
+
+@given(a=number_lists)
+def test_sort_is_idempotent_and_ordered(a):
+    once = compile_formula(f"@Sort({lit(a)})").evaluate()
+    twice = compile_formula(
+        f"@Sort(@Sort({lit(a)}))"
+    ).evaluate()
+    assert once == sorted(a)
+    assert once == twice
+
+
+@given(a=number_lists)
+def test_elements_counts(a):
+    assert compile_formula(f"@Elements({lit(a)})").evaluate() == [len(a)]
+
+
+@given(a=number_lists, n=st.integers(min_value=1, max_value=6))
+def test_subset_prefix(a, n):
+    result = compile_formula(f"@Subset({lit(a)}; {n})").evaluate()
+    assert result == a[:n]
+
+
+@given(value=texts)
+def test_case_functions_roundtrip(value):
+    source = f'@LowerCase(@UpperCase("{value}"))'
+    assert compile_formula(source).evaluate() == [value.upper().lower()]
+
+
+@given(value=texts, n=st.integers(min_value=0, max_value=12))
+def test_left_right_partition(value, n):
+    left = compile_formula(f'@Left("{value}"; {n})').evaluate()[0]
+    right = compile_formula(f'@Right("{value}"; {len(value) - n})').evaluate()[0]
+    if n <= len(value):
+        assert left + right == value
+
+
+@given(a=number_lists, b=number_lists)
+def test_equality_is_any_pair(a, b):
+    result = compile_formula(f"({lit(a)}) = ({lit(b)})").evaluate()
+    expected = 1 if set(a) & set(b) else 0
+    assert result == [expected]
+
+
+@given(x=numbers, y=numbers)
+def test_if_picks_correct_branch(x, y):
+    source = f"@If({x} > {y}; \"gt\"; {x} = {y}; \"eq\"; \"lt\")"
+    expected = "gt" if x > y else ("eq" if x == y else "lt")
+    assert compile_formula(source).evaluate() == [expected]
+
+
+@given(value=number_lists)
+def test_field_read_equals_literal(value):
+    doc = Document("A" * 32)
+    doc.set("Payload", value)
+    assert compile_formula("Payload").evaluate(doc) == value
+    assert compile_formula("@Sum(Payload)").evaluate(doc) == [sum(value)]
+
+
+@given(value=texts)
+def test_selection_consistency(value):
+    """A doc selected by `Subject = literal` matches exactly when equal
+    (case-insensitively), regardless of content."""
+    doc = Document("B" * 32)
+    doc.set("Subject", value)
+    formula = compile_formula(f'SELECT Subject = "{value}"')
+    assert formula.select(doc) is True

@@ -1,0 +1,182 @@
+"""Tests for the directory and the mail router."""
+
+import pytest
+
+from repro.errors import MailError
+from repro.mail import Directory, MailRouter, make_memo
+from repro.mail.message import make_nondelivery_report, recipients_of
+from repro.replication import SimulatedNetwork
+from repro.sim import VirtualClock
+
+
+@pytest.fixture
+def mail_world():
+    clock = VirtualClock()
+    network = SimulatedNetwork(clock)
+    for name in ("hq", "emea", "apac"):
+        network.add_server(name)
+    directory = Directory(clock=clock)
+    directory.register_person("alice/Acme", "hq")
+    directory.register_person("bob/Acme", "emea")
+    directory.register_person("chen/Acme", "apac")
+    directory.register_group("all-hands", ["alice/Acme", "bob/Acme", "chen/Acme"])
+    router = MailRouter(network, directory)
+    router.add_route("hq", "emea")
+    router.add_route("emea", "apac")
+    return clock, network, directory, router
+
+
+class TestMessages:
+    def test_make_memo_fields(self):
+        memo = make_memo("a", ["b", "c"], "subj", "body", copy_to="d")
+        assert memo["Form"] == "Memo"
+        assert recipients_of(memo) == ["b", "c", "d"]
+
+    def test_string_recipient_normalised(self):
+        memo = make_memo("a", "b", "s")
+        assert memo["SendTo"] == ["b"]
+
+    def test_ndr_addresses_sender(self):
+        memo = make_memo("a", "ghost", "lost")
+        ndr = make_nondelivery_report(memo, "ghost", "unknown")
+        assert ndr["SendTo"] == ["a"]
+        assert ndr["Form"] == "NonDelivery"
+        assert "lost" in ndr["Subject"]
+
+
+class TestDirectory:
+    def test_person_lookup(self, mail_world):
+        _, _, directory, _ = mail_world
+        assert directory.mail_server_of("bob/Acme") == "emea"
+        assert directory.mail_file_of("bob/Acme").startswith("mail/")
+
+    def test_unknown_person_rejected(self, mail_world):
+        _, _, directory, _ = mail_world
+        with pytest.raises(MailError):
+            directory.mail_server_of("ghost/Acme")
+
+    def test_reregistration_replaces(self, mail_world):
+        _, _, directory, _ = mail_world
+        directory.register_person("bob/Acme", "apac")
+        assert directory.mail_server_of("bob/Acme") == "apac"
+        assert directory.people.count("bob/Acme") == 1
+
+    def test_group_expansion(self, mail_world):
+        _, _, directory, _ = mail_world
+        people, unknown = directory.expand_recipients(["all-hands"])
+        assert set(people) == {"alice/Acme", "bob/Acme", "chen/Acme"}
+        assert unknown == []
+
+    def test_nested_groups_and_dedup(self, mail_world):
+        _, _, directory, _ = mail_world
+        directory.register_group("leads", ["alice/Acme", "all-hands"])
+        people, _ = directory.expand_recipients(["leads", "alice/Acme"])
+        assert people.count("alice/Acme") == 1
+        assert len(people) == 3
+
+    def test_group_cycle_tolerated(self, mail_world):
+        _, _, directory, _ = mail_world
+        directory.register_group("g1", ["g2"])
+        directory.register_group("g2", ["g1", "bob/Acme"])
+        people, _ = directory.expand_recipients(["g1"])
+        assert people == ["bob/Acme"]
+
+    def test_unknown_names_reported(self, mail_world):
+        _, _, directory, _ = mail_world
+        _, unknown = directory.expand_recipients(["nobody/Acme"])
+        assert unknown == ["nobody/Acme"]
+
+
+class TestRouting:
+    def test_local_delivery(self, mail_world):
+        _, _, _, router = mail_world
+        router.submit(make_memo("alice/Acme", "alice/Acme", "to self"), "hq")
+        stats = router.deliver_all()
+        assert stats.delivered == 1
+        assert stats.hop_counts == [0]
+
+    def test_single_hop(self, mail_world):
+        _, _, _, router = mail_world
+        router.submit(make_memo("alice/Acme", "bob/Acme", "hi"), "hq")
+        stats = router.deliver_all()
+        assert stats.delivered == 1 and stats.hop_counts == [1]
+
+    def test_multi_hop_route_trace(self, mail_world):
+        _, _, _, router = mail_world
+        router.submit(make_memo("alice/Acme", "chen/Acme", "far away"), "hq")
+        router.deliver_all()
+        memo = next(iter(router.mail_file("chen/Acme").all_documents()))
+        assert memo.get_list("$RouteTrace") == ["hq", "emea", "apac"]
+        assert memo.get("DeliveredDate") is not None
+
+    def test_group_fanout(self, mail_world):
+        _, _, _, router = mail_world
+        router.submit(make_memo("alice/Acme", "all-hands", "everyone"), "hq")
+        stats = router.deliver_all()
+        assert stats.delivered == 3
+        for person in ("alice/Acme", "bob/Acme", "chen/Acme"):
+            subjects = [d.get("Subject")
+                        for d in router.mail_file(person).all_documents()]
+            assert "everyone" in subjects
+
+    def test_unknown_recipient_bounces_ndr(self, mail_world):
+        _, _, _, router = mail_world
+        router.submit(make_memo("alice/Acme", "ghost/Acme", "??"), "hq")
+        stats = router.deliver_all()
+        assert stats.bounced == 1
+        subjects = [d.get("Subject")
+                    for d in router.mail_file("alice/Acme").all_documents()]
+        assert any(s.startswith("NON-DELIVERY") for s in subjects)
+
+    def test_bounce_of_bounce_suppressed(self, mail_world):
+        _, _, directory, router = mail_world
+        # sender that does not exist: NDR cannot be delivered, must not loop
+        router.submit(make_memo("ghost/Acme", "also-ghost/Acme", "x"), "hq")
+        stats = router.deliver_all()
+        assert stats.bounced >= 1  # terminated
+
+    def test_no_recipients_rejected(self, mail_world):
+        _, _, _, router = mail_world
+        with pytest.raises(MailError):
+            router.submit({"Form": "Memo", "From": "alice/Acme"}, "hq")
+
+    def test_partition_bounces_after_retries_exhausted(self, mail_world):
+        _, network, _, router = mail_world
+        router.max_attempts = 1  # bounce on first failure
+        network.partition("emea", "apac")
+        router.submit(make_memo("alice/Acme", "chen/Acme", "blocked"), "hq")
+        stats = router.deliver_all()
+        assert stats.bounced == 1
+        assert stats.delivered == 1  # the NDR back to alice
+
+    def test_partition_holds_mail_until_link_returns(self, mail_world):
+        """Store-and-forward: a memo waits out the outage, then delivers."""
+        _, network, _, router = mail_world
+        network.partition("emea", "apac")
+        router.submit(make_memo("alice/Acme", "chen/Acme", "patient"), "hq")
+        stats = router.deliver_all()
+        assert stats.delivered == 0 and stats.bounced == 0
+        assert stats.held >= 1
+        assert router.pending() == 1  # waiting at emea
+        network.partition("emea", "apac", partitioned=False)
+        stats = router.deliver_all()
+        assert stats.delivered == 1
+        memo = next(iter(router.mail_file("chen/Acme").all_documents()))
+        assert memo.get("Subject") == "patient"
+
+    def test_copy_fields_counted(self, mail_world):
+        _, _, _, router = mail_world
+        router.submit(
+            make_memo("alice/Acme", "bob/Acme", "cc test",
+                      copy_to="chen/Acme", blind_copy_to="alice/Acme"),
+            "hq",
+        )
+        stats = router.deliver_all()
+        assert stats.delivered == 3
+
+    def test_network_traffic_accounted(self, mail_world):
+        _, network, _, router = mail_world
+        router.submit(make_memo("alice/Acme", "chen/Acme", "traffic",
+                                body="B" * 5000), "hq")
+        router.deliver_all()
+        assert network.stats.bytes_sent > 10_000  # two hops x ~5KB

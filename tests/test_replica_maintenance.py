@@ -1,0 +1,114 @@
+"""Tests for replica trimming (cutoff delete) and scheduled mail routing."""
+
+import pytest
+
+from repro.mail import Directory, MailRouter, make_memo
+from repro.replication import Replicator, SelectiveReplication, SimulatedNetwork
+from repro.sim import EventScheduler, VirtualClock
+
+
+class TestCutoffDelete:
+    def test_trims_old_documents(self, db, clock):
+        old = db.create({"Subject": "old"})
+        clock.advance(1000)
+        fresh = db.create({"Subject": "new"})
+        removed = db.cutoff_delete(older_than=500.0)
+        assert removed == 1
+        assert old.unid not in db and fresh.unid in db
+
+    def test_leaves_no_stub(self, db, clock):
+        doc = db.create({"Subject": "x"})
+        clock.advance(1000)
+        db.cutoff_delete(older_than=500.0)
+        assert doc.unid not in db.stubs
+
+    def test_views_drop_trimmed_docs(self, db, clock):
+        from repro.views import View, ViewColumn
+
+        doc = db.create({"Subject": "x"})
+        view = View(db, "All", columns=[ViewColumn(title="S", item="Subject")])
+        clock.advance(1000)
+        db.cutoff_delete(older_than=500.0)
+        assert doc.unid not in view
+
+    def test_trimmed_documents_return_when_revised_elsewhere(self, pair, clock):
+        """The documented caveat: no stub, so a later revision on the
+        partner restores the whole document."""
+        a, b = pair
+        doc = a.create({"Subject": "boomerang"})
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        clock.advance(1000)
+        b.cutoff_delete(older_than=500.0)
+        assert doc.unid not in b
+        clock.advance(1)
+        a.update(doc.unid, {"Subject": "revised elsewhere"})
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        assert doc.unid in b  # it came back
+
+    def test_trimmed_documents_return_after_history_clear(self, pair, clock):
+        a, b = pair
+        doc = a.create({"Subject": "boomerang"})
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        clock.advance(1000)
+        b.cutoff_delete(older_than=500.0)
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        assert doc.unid not in b  # incremental pass skips the untouched doc
+        b.clear_replication_history()
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        assert doc.unid in b  # full re-examination restores it
+
+    def test_selective_formula_prevents_comeback(self, pair, clock):
+        a, b = pair
+        doc = a.create({"Form": "Old", "Subject": "trimmed"})
+        keeper = a.create({"Form": "Current", "Subject": "kept"})
+        clock.advance(1)
+        selective = SelectiveReplication('SELECT Form = "Current"')
+        rep = Replicator()
+        rep.pull(b, a, selective=selective)
+        assert doc.unid not in b and keeper.unid in b
+
+
+class TestScheduledRouting:
+    @pytest.fixture
+    def chain_world(self):
+        clock = VirtualClock()
+        network = SimulatedNetwork(clock)
+        for name in ("s0", "s1", "s2", "s3"):
+            network.add_server(name)
+        directory = Directory(clock=clock)
+        directory.register_person("near/Acme", "s0")
+        directory.register_person("far/Acme", "s3")
+        router = MailRouter(network, directory)
+        for left, right in (("s0", "s1"), ("s1", "s2"), ("s2", "s3")):
+            router.add_route(left, right)
+        return clock, router
+
+    def test_latency_tracks_hops(self, chain_world):
+        clock, router = chain_world
+        events = EventScheduler(clock)
+        router.attach(events, interval=60.0)
+        router.submit(make_memo("near/Acme", "far/Acme", "long haul"), "s0")
+        router.submit(make_memo("near/Acme", "near/Acme", "local"), "s0")
+        events.run_until(600.0)
+        assert router.stats.delivered == 2
+        by_hops = dict(zip(router.stats.hop_counts,
+                           router.stats.delivery_latency))
+        assert by_hops[0] < by_hops[3]
+        # three hops need three router passes of 60s each
+        assert by_hops[3] >= 3 * 60.0
+
+    def test_mail_submitted_later_still_flows(self, chain_world):
+        clock, router = chain_world
+        events = EventScheduler(clock)
+        router.attach(events, interval=30.0)
+        events.run_until(100.0)
+        router.submit(make_memo("near/Acme", "far/Acme", "late memo"), "s0")
+        events.run_until(400.0)
+        assert router.stats.delivered == 1
+        inbox = router.mail_file("far/Acme")
+        assert [d.get("Subject") for d in inbox.all_documents()] == ["late memo"]

@@ -1,0 +1,196 @@
+"""Tests for conflict detection, conflict documents, merge and LWW."""
+
+import pytest
+
+from repro.core import ChangeKind
+from repro.replication import ConflictPolicy, Replicator, converged, merge_documents
+from repro.replication.conflicts import conflict_unid, detect, divergence_point
+
+
+@pytest.fixture
+def diverged(pair, clock):
+    """A doc edited independently on both replicas after a sync."""
+    a, b = pair
+    doc = a.create({"S": "base", "Color": "red"}, author="alice")
+    clock.advance(1)
+    Replicator().replicate(a, b)
+    clock.advance(1)
+    a.update(doc.unid, {"S": "a edit"}, author="alice")
+    clock.advance(1)
+    b.update(doc.unid, {"S": "b edit"}, author="bob")
+    clock.advance(1)
+    return a, b, doc
+
+
+class TestDetection:
+    def test_same(self, pair, clock):
+        a, b = pair
+        doc = a.create({"S": "x"})
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        assert detect(a.get(doc.unid), b.get(doc.unid)) == "same"
+
+    def test_incoming_newer(self, pair, clock):
+        a, b = pair
+        doc = a.create({"S": "x"})
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        clock.advance(1)
+        b.update(doc.unid, {"S": "newer"})
+        assert detect(a.get(doc.unid), b.get(doc.unid)) == "incoming_newer"
+        assert detect(b.get(doc.unid), a.get(doc.unid)) == "local_newer"
+
+    def test_conflict_on_divergence(self, diverged):
+        a, b, doc = diverged
+        assert detect(a.get(doc.unid), b.get(doc.unid)) == "conflict"
+
+    def test_conflict_with_unequal_seq(self, diverged, clock):
+        a, b, doc = diverged
+        a.update(doc.unid, {"S": "a again"})  # a at seq 3, b at seq 2
+        assert detect(a.get(doc.unid), b.get(doc.unid)) == "conflict"
+
+    def test_divergence_point_is_shared_revision(self, diverged):
+        a, b, doc = diverged
+        point = divergence_point(a.get(doc.unid), b.get(doc.unid))
+        assert point in [tuple(s) for s in a.get(doc.unid).revisions]
+        assert point in [tuple(s) for s in b.get(doc.unid).revisions]
+
+
+class TestConflictDocuments:
+    def test_loser_preserved_as_conflict_response(self, diverged):
+        a, b, doc = diverged
+        stats = Replicator().replicate(a, b)
+        assert stats.conflicts >= 1
+        for db in (a, b):
+            main = db.get(doc.unid)
+            assert main.get("S") == "b edit"  # later edit wins
+            conflicts = [d for d in db.all_documents() if d.is_conflict]
+            assert len(conflicts) == 1
+            assert conflicts[0].get("S") == "a edit"
+            assert conflicts[0].parent_unid == doc.unid
+
+    def test_conflict_unid_deterministic(self, diverged):
+        a, b, doc = diverged
+        assert conflict_unid(a.get(doc.unid)) == conflict_unid(a.get(doc.unid))
+        assert conflict_unid(a.get(doc.unid)) != conflict_unid(b.get(doc.unid))
+
+    def test_replicas_converge_with_single_conflict_doc(self, diverged, clock):
+        a, b, doc = diverged
+        rep = Replicator()
+        rep.replicate(a, b)
+        clock.advance(1)
+        stats = rep.replicate(a, b)
+        assert stats.conflicts == 0
+        assert converged([a, b])
+        assert sum(1 for d in a.all_documents() if d.is_conflict) == 1
+
+    def test_conflict_resolution_fires_view_events(self, diverged):
+        a, b, doc = diverged
+        kinds = []
+        a.subscribe(lambda kind, payload, old: kinds.append(kind))
+        Replicator().replicate(a, b)
+        assert ChangeKind.REPLACE in kinds
+
+    def test_three_way_divergence(self, pair, clock):
+        a, b = pair
+        c = a.new_replica("gamma")
+        doc = a.create({"S": "base"})
+        clock.advance(1)
+        rep = Replicator()
+        rep.replicate(a, b)
+        rep.replicate(a, c)
+        clock.advance(1)
+        a.update(doc.unid, {"S": "a"})
+        clock.advance(1)
+        b.update(doc.unid, {"S": "b"})
+        clock.advance(1)
+        c.update(doc.unid, {"S": "c"})
+        clock.advance(1)
+        for _ in range(3):
+            clock.advance(1)
+            rep.replicate(a, b)
+            rep.replicate(b, c)
+            rep.replicate(a, c)
+        assert converged([a, b, c])
+        winners = {db.get(doc.unid).get("S") for db in (a, b, c)}
+        assert winners == {"c"}
+        conflict_count = sum(1 for d in a.all_documents() if d.is_conflict)
+        assert 1 <= conflict_count <= 2  # losers preserved, not duplicated
+
+
+class TestMergePolicy:
+    def test_disjoint_edits_merge(self, pair, clock):
+        a, b = pair
+        doc = a.create({"S": "base", "Color": "red", "Size": 1}, author="x")
+        clock.advance(1)
+        rep = Replicator(conflict_policy=ConflictPolicy.MERGE)
+        rep.replicate(a, b)
+        clock.advance(1)
+        a.update(doc.unid, {"Color": "blue"}, author="alice")
+        clock.advance(1)
+        b.update(doc.unid, {"Size": 2}, author="bob")
+        clock.advance(1)
+        stats = rep.replicate(a, b)
+        assert stats.merges >= 1
+        for db in (a, b):
+            merged = db.get(doc.unid)
+            assert merged.get("Color") == "blue"
+            assert merged.get("Size") == 2
+            assert merged.get("S") == "base"
+        assert converged([a, b])
+
+    def test_merge_includes_item_removal(self, pair, clock):
+        a, b = pair
+        doc = a.create({"S": "base", "Temp": "x"}, author="u")
+        clock.advance(1)
+        rep = Replicator(conflict_policy=ConflictPolicy.MERGE)
+        rep.replicate(a, b)
+        clock.advance(1)
+        a.update(doc.unid, {}, remove_items=["Temp"], author="alice")
+        clock.advance(1)
+        b.update(doc.unid, {"S": "edited"}, author="bob")
+        clock.advance(1)
+        rep.replicate(a, b)
+        for db in (a, b):
+            merged = db.get(doc.unid)
+            assert "Temp" not in merged
+            assert merged.get("S") == "edited"
+
+    def test_overlapping_edits_fall_back_to_conflict_doc(self, diverged):
+        a, b, doc = diverged  # both edited "S"
+        stats = Replicator(conflict_policy=ConflictPolicy.MERGE).replicate(a, b)
+        assert stats.merges == 0
+        assert stats.conflicts >= 1
+        assert any(d.is_conflict for d in a.all_documents())
+
+    def test_merge_documents_returns_none_without_shared_history(self):
+        from repro.core import Document
+
+        a = Document("A" * 32, seq=1, seq_time=(1.0, 1))
+        b = Document("A" * 32, seq=1, seq_time=(2.0, 2))
+        b.revisions = [(2.0, 2)]
+        assert merge_documents(a, b) is None
+
+    def test_merged_envelope_deterministic(self, pair, clock):
+        a, b = pair
+        doc = a.create({"X": 1, "Y": 1}, author="u")
+        clock.advance(1)
+        rep = Replicator(conflict_policy=ConflictPolicy.MERGE)
+        rep.replicate(a, b)
+        clock.advance(1)
+        a.update(doc.unid, {"X": 2})
+        clock.advance(1)
+        b.update(doc.unid, {"Y": 2})
+        clock.advance(1)
+        rep.replicate(a, b)
+        assert a.get(doc.unid).oid == b.get(doc.unid).oid
+
+
+class TestLwwPolicy:
+    def test_lww_discards_loser_silently(self, diverged):
+        a, b, doc = diverged
+        stats = Replicator(conflict_policy=ConflictPolicy.LWW).replicate(a, b)
+        assert stats.lost_updates >= 1
+        for db in (a, b):
+            assert db.get(doc.unid).get("S") == "b edit"
+            assert not any(d.is_conflict for d in db.all_documents())

@@ -1,0 +1,107 @@
+"""Tests for field-level (partial item) replication."""
+
+import pytest
+
+from repro.replication import Replicator, converged
+
+
+@pytest.fixture
+def synced(pair, clock):
+    a, b = pair
+    doc = a.create({
+        "Subject": "big doc",
+        "Body": "x" * 10_000,
+        "Status": "open",
+        "Amount": 5,
+    })
+    clock.advance(1)
+    Replicator().replicate(a, b)
+    clock.advance(1)
+    return a, b, doc
+
+
+class TestFieldLevel:
+    def test_small_edit_ships_small_delta(self, synced, clock):
+        a, b, doc = synced
+        a.update(doc.unid, {"Status": "closed"})
+        clock.advance(1)
+        stats = Replicator(field_level=True).pull(b, a)
+        assert stats.docs_transferred == 1
+        assert stats.bytes_transferred < 1_000  # not the 10 KB body
+        assert b.get(doc.unid).get("Status") == "closed"
+        assert b.get(doc.unid).get("Body") == "x" * 10_000
+
+    def test_whole_doc_mode_ships_everything(self, synced, clock):
+        a, b, doc = synced
+        a.update(doc.unid, {"Status": "closed"})
+        clock.advance(1)
+        stats = Replicator(field_level=False).pull(b, a)
+        assert stats.bytes_transferred > 10_000
+
+    def test_rebuilt_document_identical(self, synced, clock):
+        a, b, doc = synced
+        a.update(doc.unid, {"Status": "closed", "NewItem": [1, 2]},
+                 remove_items=["Amount"], author="editor")
+        clock.advance(1)
+        Replicator(field_level=True).pull(b, a)
+        mine = a.get(doc.unid)
+        theirs = b.get(doc.unid)
+        assert theirs.oid == mine.oid
+        assert theirs.revisions == mine.revisions
+        assert theirs.updated_by == mine.updated_by
+        assert sorted(theirs.item_names) == sorted(mine.item_names)
+        for name in mine.item_names:
+            assert theirs.get(name) == mine.get(name)
+        assert converged([a, b])
+
+    def test_item_removal_travels(self, synced, clock):
+        a, b, doc = synced
+        a.update(doc.unid, {}, remove_items=["Amount"])
+        clock.advance(1)
+        Replicator(field_level=True).pull(b, a)
+        assert "Amount" not in b.get(doc.unid)
+
+    def test_multi_revision_delta(self, synced, clock):
+        """Several edits between passes still produce one correct delta."""
+        a, b, doc = synced
+        a.update(doc.unid, {"Status": "triaged"})
+        clock.advance(1)
+        a.update(doc.unid, {"Owner": "bob"})
+        clock.advance(1)
+        stats = Replicator(field_level=True).pull(b, a)
+        copy = b.get(doc.unid)
+        assert copy.get("Status") == "triaged"
+        assert copy.get("Owner") == "bob"
+        assert copy.seq == a.get(doc.unid).seq
+        assert stats.bytes_transferred < 1_000
+
+    def test_new_document_ships_in_full(self, pair, clock):
+        a, b = pair
+        a.create({"Subject": "fresh", "Body": "y" * 5_000})
+        clock.advance(1)
+        stats = Replicator(field_level=True).pull(b, a)
+        assert stats.bytes_transferred > 5_000  # no local base to diff from
+
+    def test_conflicts_unaffected(self, synced, clock):
+        a, b, doc = synced
+        a.update(doc.unid, {"Status": "a-edit"})
+        clock.advance(1)
+        b.update(doc.unid, {"Status": "b-edit"})
+        clock.advance(1)
+        rep = Replicator(field_level=True)
+        stats = rep.replicate(a, b)
+        assert stats.conflicts >= 1
+        clock.advance(1)
+        rep.replicate(a, b)
+        assert converged([a, b])
+
+    def test_repeated_passes_converge(self, synced, clock):
+        a, b, doc = synced
+        rep = Replicator(field_level=True)
+        for round_number in range(4):
+            clock.advance(1)
+            a.update(doc.unid, {"Counter": round_number})
+            clock.advance(1)
+            rep.replicate(a, b)
+        assert converged([a, b])
+        assert b.get(doc.unid).get("Counter") == 3

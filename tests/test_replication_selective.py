@@ -1,0 +1,125 @@
+"""Tests for selective replication (formula filters, truncation)."""
+
+import pytest
+
+from repro.core import ItemType
+from repro.replication import Replicator, SelectiveReplication
+
+
+@pytest.fixture
+def stocked(pair, clock):
+    a, b = pair
+    for index in range(10):
+        a.create({"Form": "Order" if index % 2 else "Memo",
+                  "Region": "west" if index < 5 else "east",
+                  "N": index})
+    clock.advance(1)
+    return a, b
+
+
+class TestSelective:
+    def test_formula_filters_incoming(self, stocked, clock):
+        a, b = stocked
+        selective = SelectiveReplication('SELECT Form = "Order"')
+        stats = Replicator().pull(b, a, selective=selective)
+        assert stats.docs_transferred == 5
+        assert stats.docs_skipped == 5
+        assert all(doc.form == "Order" for doc in b.all_documents())
+
+    def test_compound_selection(self, stocked, clock):
+        a, b = stocked
+        selective = SelectiveReplication(
+            'SELECT Form = "Order" & Region = "west"'
+        )
+        Replicator().pull(b, a, selective=selective)
+        assert len(b) == 2  # orders 1 and 3
+
+    def test_filter_applies_per_direction(self, stocked, clock):
+        a, b = stocked
+        b.create({"Form": "Order", "Region": "east", "N": 99})
+        selective = SelectiveReplication('SELECT Form = "Order"')
+        stats = Replicator().replicate(a, b, selective_b=selective)
+        # a receives everything from b; b received only Orders
+        assert len(a) == 11
+        assert len(b) == 6
+
+    def test_updates_to_selected_docs_flow(self, stocked, clock):
+        a, b = stocked
+        selective = SelectiveReplication('SELECT Form = "Order"')
+        rep = Replicator()
+        rep.pull(b, a, selective=selective)
+        order_unid = next(d.unid for d in a.all_documents() if d.form == "Order")
+        clock.advance(1)
+        a.update(order_unid, {"Status": "shipped"})
+        clock.advance(1)
+        stats = rep.pull(b, a, selective=selective)
+        assert stats.docs_transferred == 1
+        assert b.get(order_unid).get("Status") == "shipped"
+
+    def test_truncation_replaces_large_rich_text(self, pair, clock):
+        a, b = pair
+        doc = a.create({"Form": "Memo", "Subject": "big"})
+        a.update(doc.unid, {"Body": a.get(doc.unid).item("Subject") and "x" * 50_000})
+        a.get(doc.unid).set("Body", "x" * 50_000, ItemType.RICH_TEXT)
+        clock.advance(1)
+        selective = SelectiveReplication("SELECT @All", truncate_over=10_000)
+        stats = Replicator().pull(b, a, selective=selective)
+        copy = b.get(doc.unid)
+        assert copy.get("$Truncated") == 1
+        assert len(copy.get("Body")) < 1_000
+        assert stats.bytes_transferred < 5_000
+        # the source keeps its full body
+        assert len(a.get(doc.unid).get("Body")) == 50_000
+
+    def test_small_docs_not_truncated(self, pair, clock):
+        a, b = pair
+        doc = a.create({"Form": "Memo", "Body": "short"})
+        clock.advance(1)
+        selective = SelectiveReplication("SELECT @All", truncate_over=10_000)
+        Replicator().pull(b, a, selective=selective)
+        assert b.get(doc.unid).get("$Truncated") is None
+
+
+class TestConnectionLevelFormulas:
+    def test_connection_formula_scopes_a_branch_server(self):
+        """A branch replica pulls only its region through the connection
+        document's replication formula, while the hub receives everything."""
+        from repro.bench.runners import build_deployment
+        from repro.replication import ReplicationScheduler, ReplicationTopology
+
+        deployment = build_deployment(2, seed=3)
+        hub, branch = deployment.databases
+        for index in range(10):
+            deployment.clock.advance(1)
+            hub.create({"Form": "Order",
+                        "Region": "west" if index % 2 else "east"})
+        branch.create({"Form": "Order", "Region": "west", "Local": 1})
+        deployment.clock.advance(1)
+        topology = ReplicationTopology("scoped")
+        topology.connect(
+            "srv0", "srv1", interval=60,
+            selective_b='SELECT Region = "west"',  # srv1 receives west only
+        )
+        scheduler = ReplicationScheduler(deployment.network, topology)
+        scheduler.run_round()
+        assert len(hub) == 11  # hub received the branch's local doc
+        assert all(doc.get("Region") == "west" for doc in branch.all_documents())
+        assert len(branch) == 6  # 5 west from hub + its own
+
+    def test_connection_formula_on_event_loop(self):
+        from repro.bench.runners import build_deployment
+        from repro.replication import ReplicationScheduler, ReplicationTopology
+        from repro.sim import EventScheduler
+
+        deployment = build_deployment(2, seed=4)
+        hub, branch = deployment.databases
+        hub.create({"Form": "Order", "Region": "east"})
+        hub.create({"Form": "Order", "Region": "west"})
+        topology = ReplicationTopology("scoped")
+        topology.connect("srv0", "srv1", interval=60,
+                         selective_b='SELECT Region = "west"')
+        scheduler = ReplicationScheduler(deployment.network, topology)
+        events = EventScheduler(deployment.clock)
+        scheduler.attach(events)
+        events.run_until(61)
+        assert len(branch) == 1

@@ -1,0 +1,161 @@
+"""Tests for topologies, the scheduler, and network behaviour."""
+
+import pytest
+
+from repro.bench.runners import build_deployment, populate
+from repro.errors import ReplicationError
+from repro.replication import (
+    ReplicationScheduler,
+    ReplicationTopology,
+    Replicator,
+    SimulatedNetwork,
+    converged,
+)
+from repro.sim import VirtualClock
+
+
+class TestTopologyBuilders:
+    def test_ring(self):
+        topology = ReplicationTopology.ring(["a", "b", "c", "d"])
+        assert len(topology.connections) == 4
+        assert set(topology.neighbours("a")) == {"b", "d"}
+
+    def test_two_server_ring_has_one_edge(self):
+        assert len(ReplicationTopology.ring(["a", "b"]).connections) == 1
+
+    def test_hub_spoke(self):
+        topology = ReplicationTopology.hub_spoke("hub", ["s1", "s2", "s3"])
+        assert len(topology.connections) == 3
+        assert set(topology.neighbours("hub")) == {"s1", "s2", "s3"}
+        assert topology.neighbours("s1") == ["hub"]
+
+    def test_mesh(self):
+        topology = ReplicationTopology.mesh(["a", "b", "c", "d"])
+        assert len(topology.connections) == 6
+
+    def test_chain(self):
+        topology = ReplicationTopology.chain(["a", "b", "c"])
+        assert len(topology.connections) == 2
+
+    def test_diameters(self):
+        assert ReplicationTopology.mesh(["a", "b", "c", "d"]).diameter() == 1
+        assert ReplicationTopology.hub_spoke("h", ["a", "b", "c"]).diameter() == 2
+        assert ReplicationTopology.chain(list("abcde")).diameter() == 4
+
+    def test_self_connection_rejected(self):
+        topology = ReplicationTopology()
+        with pytest.raises(ReplicationError):
+            topology.connect("a", "a")
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReplicationError):
+            ReplicationTopology.ring(["only"])
+        with pytest.raises(ReplicationError):
+            ReplicationTopology.hub_spoke("h", [])
+
+
+class TestNetwork:
+    def test_transfer_accounts_stats(self):
+        network = SimulatedNetwork(VirtualClock())
+        network.add_server("a")
+        network.add_server("b")
+        network.transfer("a", "b", 1000)
+        assert network.stats.bytes_sent == 1000
+        assert network.stats.messages == 1
+        assert network.stats.by_link[("a", "b")] == (1000, 1)
+
+    def test_transfer_duration_model(self):
+        network = SimulatedNetwork(VirtualClock())
+        network.add_server("a")
+        network.add_server("b")
+        network.set_link("a", "b", latency=0.5, bandwidth=1000)
+        assert network.transfer("a", "b", 2000) == pytest.approx(0.5 + 2.0)
+
+    def test_partition_blocks(self):
+        network = SimulatedNetwork(VirtualClock())
+        network.add_server("a")
+        network.add_server("b")
+        network.partition("a", "b")
+        assert not network.is_reachable("a", "b")
+        with pytest.raises(ReplicationError):
+            network.transfer("a", "b", 10)
+        network.partition("a", "b", partitioned=False)
+        assert network.is_reachable("a", "b")
+
+    def test_down_server_unreachable(self):
+        network = SimulatedNetwork(VirtualClock())
+        network.add_server("a")
+        network.add_server("b")
+        network.server("b").up = False
+        assert not network.is_reachable("a", "b")
+
+    def test_duplicate_server_rejected(self):
+        network = SimulatedNetwork(VirtualClock())
+        network.add_server("a")
+        with pytest.raises(ReplicationError):
+            network.add_server("a")
+
+    def test_unknown_server_rejected(self):
+        network = SimulatedNetwork(VirtualClock())
+        with pytest.raises(ReplicationError):
+            network.server("ghost")
+
+
+class TestSchedulerConvergence:
+    @pytest.mark.parametrize("shape,n", [("ring", 5), ("hub_spoke", 5), ("mesh", 4)])
+    def test_all_topologies_converge(self, shape, n):
+        deployment = build_deployment(n)
+        names = [f"srv{i}" for i in range(n)]
+        # seed changes on several replicas
+        for index, db in enumerate(deployment.databases):
+            db.create({"S": f"origin {index}"})
+        if shape == "ring":
+            topology = ReplicationTopology.ring(names)
+        elif shape == "mesh":
+            topology = ReplicationTopology.mesh(names)
+        else:
+            topology = ReplicationTopology.hub_spoke(names[0], names[1:])
+        scheduler = ReplicationScheduler(deployment.network, topology)
+        rounds = scheduler.rounds_to_convergence(deployment.databases)
+        assert rounds <= 2 * len(names)
+        assert all(len(db) == n for db in deployment.databases)
+
+    def test_partition_heals(self):
+        deployment = build_deployment(3)
+        a, b, c = deployment.databases
+        a.create({"S": "seed"})
+        names = ["srv0", "srv1", "srv2"]
+        topology = ReplicationTopology.chain(names)
+        deployment.network.partition("srv1", "srv2")
+        scheduler = ReplicationScheduler(deployment.network, topology)
+        deployment.clock.advance(1)
+        scheduler.run_round()
+        assert len(b) == 1 and len(c) == 0  # partition blocked the tail
+        deployment.network.partition("srv1", "srv2", partitioned=False)
+        rounds = scheduler.rounds_to_convergence(deployment.databases)
+        assert rounds <= 2
+
+    def test_event_scheduler_attachment(self):
+        from repro.sim import EventScheduler
+
+        deployment = build_deployment(2)
+        a, b = deployment.databases
+        a.create({"S": "x"})
+        topology = ReplicationTopology.ring(["srv0", "srv1"], interval=60.0)
+        scheduler = ReplicationScheduler(deployment.network, topology)
+        events = EventScheduler(deployment.clock)
+        scheduler.attach(events)
+        events.run_until(59.0)
+        assert len(b) == 0
+        events.run_until(61.0)
+        assert len(b) == 1
+
+    def test_convergence_failure_raises(self):
+        deployment = build_deployment(2)
+        a, b = deployment.databases
+        a.create({"S": "unreachable"})
+        deployment.network.partition("srv0", "srv1")
+        topology = ReplicationTopology.ring(["srv0", "srv1"])
+        scheduler = ReplicationScheduler(deployment.network, topology)
+        with pytest.raises(ReplicationError):
+            scheduler.rounds_to_convergence(deployment.databases, max_rounds=3)

@@ -1,0 +1,89 @@
+"""Scale sanity: the structures stay usable at 10k documents.
+
+Not a benchmark — loose wall-clock ceilings (generous even for slow CI)
+that catch accidental O(n²) regressions in the hot paths.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.bench.runners import build_deployment, populate
+from repro.fulltext import FullTextIndex
+from repro.replication import Replicator
+from repro.views import SortOrder, View, ViewColumn
+
+N_DOCS = 10_000
+
+
+@pytest.fixture(scope="module")
+def big():
+    deployment = build_deployment(2, seed=10_000)
+    populate(deployment.origin, N_DOCS, deployment.rng, body_bytes=120,
+             advance=0.01)
+    return deployment
+
+
+@pytest.mark.slow
+class TestScale:
+    def test_view_build_and_lookup(self, big):
+        db = big.origin
+        start = time.perf_counter()
+        view = View(
+            db, "Big",
+            selection='SELECT Form = "Memo"',
+            columns=[
+                ViewColumn(title="Categories", item="Categories",
+                           categorized=True),
+                ViewColumn(title="Subject", item="Subject",
+                           sort=SortOrder.ASCENDING),
+                ViewColumn(title="Amount", item="Amount", totals=True),
+            ],
+        )
+        build_seconds = time.perf_counter() - start
+        assert len(view) == N_DOCS
+        assert build_seconds < 30.0
+
+        start = time.perf_counter()
+        for _ in range(200):
+            assert view.documents_by_key("eng")
+        lookups = time.perf_counter() - start
+        assert lookups < 5.0
+
+        start = time.perf_counter()
+        unid = db.unids()[N_DOCS // 2]
+        db.update(unid, {"Subject": "moved entry"})
+        assert time.perf_counter() - start < 0.5
+        assert unid in view
+
+    def test_fulltext_build_and_query(self, big):
+        db = big.origin
+        start = time.perf_counter()
+        index = FullTextIndex(db)
+        assert time.perf_counter() - start < 30.0
+        start = time.perf_counter()
+        for query in ("budget", "budget AND review", '"budget forecast"'):
+            index.search(query)
+        assert time.perf_counter() - start < 5.0
+
+    def test_incremental_replication_delta(self, big):
+        source, target = big.databases
+        big.clock.advance(1)
+        rep = Replicator()
+        rep.pull(target, source)  # bulk first sync
+        big.clock.advance(1)
+        for unid in source.unids()[:25]:
+            source.update(unid, {"Subject": "delta"})
+        big.clock.advance(1)
+        start = time.perf_counter()
+        stats = rep.pull(target, source)
+        assert time.perf_counter() - start < 5.0
+        assert stats.docs_transferred == 25
+
+    def test_state_fingerprint_cost(self, big):
+        db = big.origin
+        start = time.perf_counter()
+        first = db.state_fingerprint()
+        assert time.perf_counter() - start < 2.0
+        assert first == db.state_fingerprint()

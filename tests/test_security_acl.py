@@ -1,0 +1,168 @@
+"""Tests for the ACL: levels, precedence, document-level composition."""
+
+import random
+
+import pytest
+
+from repro.core import ItemType, NotesDatabase
+from repro.errors import AccessDenied, SecurityError
+from repro.security import AccessControlList, AclLevel
+
+
+@pytest.fixture
+def acl():
+    acl = AccessControlList(
+        default_level=AclLevel.NO_ACCESS,
+        groups={"Mods": ["carol/Acme"], "Staff": ["dave/Acme", "Mods"]},
+    )
+    acl.add("alice/Acme", AclLevel.MANAGER, roles=["Admin"])
+    acl.add("Mods", AclLevel.EDITOR, roles=["Moderate"])
+    acl.add("*/Acme", AclLevel.AUTHOR)
+    acl.add("reader/Acme", AclLevel.READER)
+    acl.add("depositor/Acme", AclLevel.DEPOSITOR)
+    return acl
+
+
+@pytest.fixture
+def sdb(acl, clock):
+    return NotesDatabase("secure.nsf", clock=clock, rng=random.Random(5), acl=acl)
+
+
+class TestResolution:
+    def test_exact_beats_group_and_wildcard(self, acl):
+        assert acl.level_of("alice/Acme") == AclLevel.MANAGER
+
+    def test_group_beats_wildcard(self, acl):
+        assert acl.level_of("carol/Acme") == AclLevel.EDITOR
+
+    def test_nested_group_membership(self, acl):
+        acl.add("Staff", AclLevel.DESIGNER)
+        assert acl.level_of("dave/Acme") == AclLevel.DESIGNER
+        # carol is in Staff via Mods nesting: takes the highest match
+        assert acl.level_of("carol/Acme") == AclLevel.DESIGNER
+
+    def test_wildcard_applies(self, acl):
+        assert acl.level_of("random/Acme") == AclLevel.AUTHOR
+
+    def test_default_for_strangers(self, acl):
+        assert acl.level_of("nobody/Elsewhere") == AclLevel.NO_ACCESS
+
+    def test_roles_resolved(self, acl):
+        assert acl.roles_of("alice/Acme") == {"Admin"}
+        assert acl.roles_of("carol/Acme") == {"Moderate"}
+        assert acl.roles_of("random/Acme") == set()
+
+    def test_default_entry_cannot_be_removed(self, acl):
+        with pytest.raises(SecurityError):
+            acl.remove("-Default-")
+
+    def test_remove_unknown_rejected(self, acl):
+        with pytest.raises(SecurityError):
+            acl.remove("ghost/Acme")
+
+    def test_exact_entry_replaced_on_re_add(self, acl):
+        acl.add("alice/Acme", AclLevel.READER)
+        assert acl.level_of("alice/Acme") == AclLevel.READER
+
+
+class TestDatabaseEnforcement:
+    def test_no_access_cannot_create(self, sdb):
+        with pytest.raises(AccessDenied):
+            sdb.create({"S": "x"}, author="nobody/Elsewhere")
+
+    def test_depositor_cannot_create_documents_here(self, sdb):
+        # Depositor < AUTHOR: create denied in this model
+        with pytest.raises(AccessDenied):
+            sdb.create({"S": "x"}, author="depositor/Acme")
+
+    def test_reader_cannot_create(self, sdb):
+        with pytest.raises(AccessDenied):
+            sdb.create({"S": "x"}, author="reader/Acme")
+
+    def test_author_creates_and_edits_own(self, sdb):
+        doc = sdb.create({"S": "mine"}, author="frank/Acme")
+        sdb.update(doc.unid, {"S": "still mine"}, author="frank/Acme")
+        assert sdb.get(doc.unid).get("S") == "still mine"
+
+    def test_author_cannot_edit_others(self, sdb):
+        doc = sdb.create({"S": "franks"}, author="frank/Acme")
+        with pytest.raises(AccessDenied):
+            sdb.update(doc.unid, {"S": "grab"}, author="grace/Acme")
+
+    def test_authors_item_grants_coauthorship(self, sdb):
+        doc = sdb.create({"S": "shared"}, author="frank/Acme")
+        sdb.get(doc.unid).set("DocAuthors", ["grace/Acme"], ItemType.AUTHORS)
+        sdb.update(doc.unid, {"S": "by grace"}, author="grace/Acme")
+        assert sdb.get(doc.unid).get("S") == "by grace"
+
+    def test_editor_edits_anything(self, sdb):
+        doc = sdb.create({"S": "franks"}, author="frank/Acme")
+        sdb.update(doc.unid, {"S": "moderated"}, author="carol/Acme")
+
+    def test_author_deletes_own_only(self, sdb):
+        doc = sdb.create({"S": "temp"}, author="frank/Acme")
+        with pytest.raises(AccessDenied):
+            sdb.delete(doc.unid, author="grace/Acme")
+        sdb.delete(doc.unid, author="frank/Acme")
+
+    def test_manager_deletes_anything(self, sdb):
+        doc = sdb.create({"S": "x"}, author="frank/Acme")
+        sdb.delete(doc.unid, author="alice/Acme")
+
+    def test_delete_flag_denies_even_editor(self, sdb, acl):
+        acl.add("carol/Acme", AclLevel.EDITOR, can_delete_documents=False)
+        doc = sdb.create({"S": "x"}, author="frank/Acme")
+        with pytest.raises(AccessDenied):
+            sdb.delete(doc.unid, author="carol/Acme")
+
+
+class TestReaderFields:
+    def test_readers_item_restricts(self, sdb):
+        doc = sdb.create({"S": "secret"}, author="alice/Acme")
+        sdb.get(doc.unid).set("R", ["alice/Acme"], ItemType.READERS)
+        assert sdb.get(doc.unid, as_user="alice/Acme")
+        with pytest.raises(AccessDenied):
+            sdb.get(doc.unid, as_user="frank/Acme")
+
+    def test_readers_via_role(self, sdb):
+        doc = sdb.create({"S": "mod only"}, author="alice/Acme")
+        sdb.get(doc.unid).set("R", ["[Moderate]"], ItemType.READERS)
+        assert sdb.get(doc.unid, as_user="carol/Acme")
+        with pytest.raises(AccessDenied):
+            sdb.get(doc.unid, as_user="frank/Acme")
+
+    def test_readers_via_group(self, sdb):
+        doc = sdb.create({"S": "staff"}, author="alice/Acme")
+        sdb.get(doc.unid).set("R", ["Staff"], ItemType.READERS)
+        assert sdb.get(doc.unid, as_user="dave/Acme")
+        assert sdb.get(doc.unid, as_user="carol/Acme")  # nested via Mods
+
+    def test_authors_implicitly_read(self, sdb):
+        doc = sdb.create({"S": "x"}, author="alice/Acme")
+        fresh = sdb.get(doc.unid)
+        fresh.set("R", ["nobodyelse/Acme"], ItemType.READERS)
+        fresh.set("A", ["frank/Acme"], ItemType.AUTHORS)
+        assert sdb.get(doc.unid, as_user="frank/Acme")
+
+    def test_readers_restrict_even_manager(self, sdb):
+        doc = sdb.create({"S": "hidden from mgmt"}, author="frank/Acme")
+        sdb.get(doc.unid).set("R", ["frank/Acme"], ItemType.READERS)
+        with pytest.raises(AccessDenied):
+            sdb.get(doc.unid, as_user="alice/Acme")
+
+    def test_all_documents_filters(self, sdb):
+        open_doc = sdb.create({"S": "open"}, author="alice/Acme")
+        hidden = sdb.create({"S": "hidden"}, author="alice/Acme")
+        sdb.get(hidden.unid).set("R", ["alice/Acme"], ItemType.READERS)
+        visible = {d.unid for d in sdb.all_documents(as_user="frank/Acme")}
+        assert visible == {open_doc.unid}
+
+    def test_view_respects_readers(self, sdb):
+        from repro.views import View, ViewColumn
+
+        sdb.create({"Form": "Memo", "S": "public"}, author="alice/Acme")
+        hidden = sdb.create({"Form": "Memo", "S": "private"}, author="alice/Acme")
+        sdb.get(hidden.unid).set("R", ["alice/Acme"], ItemType.READERS)
+        view = View(sdb, "All", columns=[ViewColumn(title="S", item="S")])
+        assert len(list(view.documents(as_user="frank/Acme"))) == 1
+        assert len(list(view.documents(as_user="alice/Acme"))) == 2

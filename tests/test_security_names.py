@@ -1,0 +1,90 @@
+"""Tests for hierarchical names, wildcard matching and group expansion."""
+
+from repro.security import NotesName, expand_groups, name_matches
+from repro.security.names import user_in_names
+
+
+class TestNotesName:
+    def test_parse_abbreviated(self):
+        name = NotesName.parse("Alice Smith/Sales/Acme")
+        assert name.components == ("Alice Smith", "Sales", "Acme")
+        assert name.common == "Alice Smith"
+
+    def test_parse_canonical(self):
+        name = NotesName.parse("CN=Alice Smith/OU=Sales/O=Acme")
+        assert name.components == ("Alice Smith", "Sales", "Acme")
+
+    def test_canonical_rendering(self):
+        name = NotesName.parse("Alice/Sales/Acme")
+        assert name.canonical == "CN=Alice/OU=Sales/O=Acme"
+
+    def test_single_component(self):
+        name = NotesName.parse("LocalAdmin")
+        assert name.canonical == "CN=LocalAdmin"
+
+    def test_exact_match_case_insensitive(self):
+        assert name_matches("alice/sales/acme", "Alice/Sales/Acme")
+
+    def test_canonical_matches_abbreviated(self):
+        assert name_matches("CN=Bob/O=Acme", "bob/acme")
+
+    def test_wildcard_org(self):
+        assert name_matches("Alice/Sales/Acme", "*/Acme")
+        assert name_matches("Alice/Sales/Acme", "*/Sales/Acme")
+        assert not name_matches("Alice/Eng/Acme", "*/Sales/Acme")
+        assert not name_matches("Alice/Other", "*/Acme")
+
+    def test_star_alone_matches_everyone(self):
+        assert name_matches("Anyone/Anywhere", "*")
+
+    def test_length_mismatch_no_match(self):
+        assert not name_matches("Alice/Acme", "Alice/Sales/Acme")
+
+
+class TestGroups:
+    GROUPS = {
+        "Sales Team": ["alice/Acme", "bob/Acme"],
+        "Leads": ["carol/Acme", "Sales Team"],
+        "Loop": ["Loop", "dave/Acme"],
+    }
+
+    def test_flat_expansion(self):
+        assert expand_groups(["Sales Team"], self.GROUPS) == {
+            "alice/Acme",
+            "bob/Acme",
+        }
+
+    def test_nested_expansion(self):
+        assert expand_groups(["Leads"], self.GROUPS) == {
+            "carol/Acme",
+            "alice/Acme",
+            "bob/Acme",
+        }
+
+    def test_cycle_tolerated(self):
+        assert expand_groups(["Loop"], self.GROUPS) == {"dave/Acme"}
+
+    def test_non_group_passthrough(self):
+        assert expand_groups(["eve/Acme"], self.GROUPS) == {"eve/Acme"}
+
+    def test_group_name_case_insensitive(self):
+        assert "alice/Acme" in expand_groups(["sales team"], self.GROUPS)
+
+
+class TestUserInNames:
+    def test_direct(self):
+        assert user_in_names("alice/Acme", ["alice/Acme"])
+
+    def test_via_group(self):
+        assert user_in_names("bob/Acme", ["Sales Team"],
+                             groups=TestGroups.GROUPS)
+
+    def test_via_wildcard(self):
+        assert user_in_names("bob/Acme", ["*/Acme"])
+
+    def test_via_role(self):
+        assert user_in_names("anyone", ["[Moderators]"], roles=["Moderators"])
+        assert not user_in_names("anyone", ["[Moderators]"], roles=["Other"])
+
+    def test_empty_names_deny(self):
+        assert not user_in_names("alice/Acme", [])

@@ -1,0 +1,61 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=100.0).now == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(start=-1.0)
+
+    def test_advance_moves_forward(self, clock):
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now == 7.5
+
+    def test_advance_returns_new_time(self, clock):
+        assert clock.advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self, clock):
+        with pytest.raises(SimulationError):
+            clock.advance(-0.1)
+
+    def test_advance_to_absolute(self, clock):
+        clock.advance_to(42.0)
+        assert clock.now == 42.0
+
+    def test_advance_to_backwards_rejected(self, clock):
+        clock.advance(10)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5)
+
+    def test_advance_to_same_instant_is_noop(self, clock):
+        clock.advance(4)
+        clock.advance_to(4)
+        assert clock.now == 4
+
+    def test_ticks_strictly_monotonic(self, clock):
+        ticks = [clock.tick() for _ in range(100)]
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == 100
+
+    def test_timestamps_unique_at_same_instant(self, clock):
+        first = clock.timestamp()
+        second = clock.timestamp()
+        assert first[0] == second[0]
+        assert first < second
+
+    def test_timestamps_order_across_time(self, clock):
+        early = clock.timestamp()
+        clock.advance(1)
+        late = clock.timestamp()
+        assert early < late

@@ -1,0 +1,119 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventScheduler, VirtualClock
+
+
+class TestScheduling:
+    def test_event_fires_at_its_time(self, clock, events):
+        fired = []
+        events.at(5.0, lambda: fired.append(clock.now))
+        events.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_clock_ends_at_run_until_bound(self, clock, events):
+        events.at(2.0, lambda: None)
+        events.run_until(10.0)
+        assert clock.now == 10.0
+
+    def test_events_fire_in_time_order(self, clock, events):
+        order = []
+        events.at(3.0, lambda: order.append("c"))
+        events.at(1.0, lambda: order.append("a"))
+        events.at(2.0, lambda: order.append("b"))
+        events.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self, events):
+        order = []
+        events.at(1.0, lambda: order.append(1))
+        events.at(1.0, lambda: order.append(2))
+        events.at(1.0, lambda: order.append(3))
+        events.run()
+        assert order == [1, 2, 3]
+
+    def test_after_is_relative_to_now(self, clock, events):
+        clock.advance(10)
+        fired = []
+        events.after(5, lambda: fired.append(clock.now))
+        events.run()
+        assert fired == [15.0]
+
+    def test_past_scheduling_rejected(self, clock, events):
+        clock.advance(5)
+        with pytest.raises(SimulationError):
+            events.at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self, events):
+        with pytest.raises(SimulationError):
+            events.after(-1, lambda: None)
+
+    def test_run_until_partial(self, events):
+        fired = []
+        events.at(1.0, lambda: fired.append(1))
+        events.at(5.0, lambda: fired.append(5))
+        executed = events.run_until(2.0)
+        assert executed == 1 and fired == [1]
+        events.run()
+        assert fired == [1, 5]
+
+    def test_cancelled_event_skipped(self, events):
+        fired = []
+        handle = events.at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        events.run()
+        assert fired == []
+
+    def test_event_can_schedule_more_events(self, clock, events):
+        fired = []
+
+        def chain():
+            fired.append(clock.now)
+            if len(fired) < 3:
+                events.after(1.0, chain)
+
+        events.after(1.0, chain)
+        events.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_guards_against_runaway(self, events):
+        def forever():
+            events.after(1.0, forever)
+
+        events.after(1.0, forever)
+        with pytest.raises(SimulationError):
+            events.run(max_events=50)
+
+
+class TestRepeating:
+    def test_every_fires_at_interval(self, clock, events):
+        fired = []
+        events.every(10.0, lambda: fired.append(clock.now))
+        events.run_until(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_every_with_start_delay(self, clock, events):
+        fired = []
+        events.every(10.0, lambda: fired.append(clock.now), start_delay=1.0)
+        events.run_until(25.0)
+        assert fired == [1.0, 11.0, 21.0]
+
+    def test_cancel_stops_series(self, clock, events):
+        fired = []
+        handle = events.every(10.0, lambda: fired.append(clock.now))
+        events.run_until(25.0)
+        handle.cancel()
+        events.run_until(100.0)
+        assert fired == [10.0, 20.0]
+
+    def test_non_positive_interval_rejected(self, events):
+        with pytest.raises(SimulationError):
+            events.every(0, lambda: None)
+
+    def test_len_counts_pending(self, events):
+        events.at(1.0, lambda: None)
+        handle = events.at(2.0, lambda: None)
+        handle.cancel()
+        assert len(events) == 1

@@ -1,0 +1,225 @@
+"""Unit tests for the B+tree."""
+
+import random
+
+import pytest
+
+from repro.errors import BTreeError
+from repro.storage import BPlusTree
+
+
+class TestBasics:
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "five")
+        assert tree.get(5) == "five"
+
+    def test_missing_key_default(self):
+        tree = BPlusTree()
+        assert tree.get(1) is None
+        assert tree.get(1, "dflt") == "dflt"
+
+    def test_replace_existing(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_order_minimum(self):
+        with pytest.raises(BTreeError):
+            BPlusTree(order=3)
+
+    def test_contains(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        assert "k" in tree and "x" not in tree
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        for key in [5, 1, 9, 3, 7, 2, 8]:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == [1, 2, 3, 5, 7, 8, 9]
+
+    def test_splits_maintain_order(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(100))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 10)
+        assert list(tree) == list(range(100))
+        assert tree.node_splits > 0
+        tree.validate()
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=8)
+        for key in range(1000):
+            tree.insert(key, key)
+        assert tree.height() <= 5
+
+    def test_tuple_keys(self):
+        tree = BPlusTree()
+        tree.insert((1, "b"), "x")
+        tree.insert((1, "a"), "y")
+        tree.insert((0, "z"), "w")
+        assert [k for k, _ in tree.items()] == [(0, "z"), (1, "a"), (1, "b")]
+
+    def test_min_key(self):
+        tree = BPlusTree()
+        assert tree.min_key() is None
+        tree.insert(9, "x")
+        tree.insert(4, "y")
+        assert tree.min_key() == 4
+
+
+class TestBulkLoad:
+    def test_matches_incremental_build(self):
+        pairs = [(k, k * 3) for k in range(137)]
+        bulk = BPlusTree(order=6)
+        bulk.bulk_load(pairs)
+        incremental = BPlusTree(order=6)
+        for key, value in pairs:
+            incremental.insert(key, value)
+        assert list(bulk.items()) == list(incremental.items())
+        bulk.validate()
+
+    def test_empty_load(self):
+        tree = BPlusTree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_single_pair(self):
+        tree = BPlusTree(order=4)
+        tree.bulk_load([(1, "one")])
+        assert tree.get(1) == "one"
+        tree.validate()
+
+    def test_requires_empty_tree(self):
+        tree = BPlusTree()
+        tree.insert(1, 1)
+        with pytest.raises(BTreeError):
+            tree.bulk_load([(2, 2)])
+
+    def test_rejects_unsorted(self):
+        tree = BPlusTree()
+        with pytest.raises(BTreeError):
+            tree.bulk_load([(2, 0), (1, 0)])
+
+    def test_rejects_duplicates(self):
+        tree = BPlusTree()
+        with pytest.raises(BTreeError):
+            tree.bulk_load([(1, 0), (1, 1)])
+
+    def test_mutations_after_bulk_load(self):
+        tree = BPlusTree(order=4)
+        tree.bulk_load([(k, k) for k in range(0, 100, 2)])
+        for key in range(1, 100, 2):
+            tree.insert(key, key)
+        for key in range(0, 100, 4):
+            tree.delete(key)
+        tree.validate()
+        expected = sorted(
+            (set(range(0, 100, 2)) | set(range(1, 100, 2)))
+            - set(range(0, 100, 4))
+        )
+        assert list(tree) == expected
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 20, 21, 22, 100, 1000])
+    def test_every_size_is_structurally_valid(self, n):
+        for order in (4, 5, 8, 32):
+            tree = BPlusTree(order=order)
+            tree.bulk_load([(k, k) for k in range(n)])
+            tree.validate()
+            assert len(tree) == n
+            assert list(tree) == list(range(n))
+
+
+class TestRange:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):  # evens 0..98
+            tree.insert(key, key)
+        return tree
+
+    def test_inclusive_range(self, tree):
+        assert [k for k, _ in tree.range(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self, tree):
+        keys = [k for k, _ in tree.range(10, 20, include_lo=False, include_hi=False)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_open_ended_low(self, tree):
+        assert [k for k, _ in tree.range(hi=6)] == [0, 2, 4, 6]
+
+    def test_open_ended_high(self, tree):
+        assert [k for k, _ in tree.range(lo=94)] == [94, 96, 98]
+
+    def test_bounds_not_present_in_tree(self, tree):
+        assert [k for k, _ in tree.range(9, 15)] == [10, 12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(13, 13)) == []
+
+    def test_full_scan_matches_items(self, tree):
+        assert list(tree.range()) == list(tree.items())
+
+
+class TestDelete:
+    def test_delete_returns_value(self):
+        tree = BPlusTree()
+        tree.insert(1, "one")
+        assert tree.delete(1) == "one"
+        assert 1 not in tree
+
+    def test_delete_missing_raises(self):
+        tree = BPlusTree()
+        with pytest.raises(KeyError):
+            tree.delete(42)
+
+    def test_delete_all_then_reuse(self):
+        tree = BPlusTree(order=4)
+        for key in range(50):
+            tree.insert(key, key)
+        for key in range(50):
+            tree.delete(key)
+        assert len(tree) == 0
+        tree.validate()
+        tree.insert(7, "back")
+        assert tree.get(7) == "back"
+
+    def test_interleaved_insert_delete(self):
+        tree = BPlusTree(order=4)
+        rng = random.Random(7)
+        shadow = {}
+        for step in range(2000):
+            key = rng.randrange(200)
+            if key in shadow and rng.random() < 0.5:
+                del shadow[key]
+                tree.delete(key)
+            else:
+                shadow[key] = step
+                tree.insert(key, step)
+        assert dict(tree.items()) == shadow
+        tree.validate()
+
+    def test_merges_happen_under_heavy_delete(self):
+        tree = BPlusTree(order=4)
+        for key in range(200):
+            tree.insert(key, key)
+        for key in range(0, 200, 2):
+            tree.delete(key)
+        for key in range(1, 199, 2):
+            tree.delete(key)
+        assert tree.node_merges > 0
+        tree.validate()
+
+    def test_root_collapse(self):
+        tree = BPlusTree(order=4)
+        for key in range(20):
+            tree.insert(key, key)
+        assert tree.height() > 1
+        for key in range(19):
+            tree.delete(key)
+        assert tree.height() == 1
+        assert tree.get(19) == 19

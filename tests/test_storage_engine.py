@@ -1,0 +1,150 @@
+"""Tests for the transactional storage engine."""
+
+import pytest
+
+from repro.errors import StorageError, WalError
+from repro.storage import StorageEngine
+
+
+@pytest.fixture
+def engine(tmp_path):
+    eng = StorageEngine(str(tmp_path / "db"))
+    yield eng
+    if eng._open:
+        eng.close()
+
+
+class TestBasics:
+    def test_set_get(self, engine):
+        engine.set(b"k", b"v")
+        assert engine.get(b"k") == b"v"
+
+    def test_missing_key_gives_none(self, engine):
+        assert engine.get(b"nope") is None
+
+    def test_overwrite(self, engine):
+        engine.set(b"k", b"v1")
+        engine.set(b"k", b"v2")
+        assert engine.get(b"k") == b"v2"
+
+    def test_remove(self, engine):
+        engine.set(b"k", b"v")
+        engine.remove(b"k")
+        assert engine.get(b"k") is None
+        assert b"k" not in engine
+
+    def test_empty_value(self, engine):
+        engine.set(b"empty", b"")
+        assert engine.get(b"empty") == b""
+        assert b"empty" in engine
+
+    def test_large_value_chunked_across_pages(self, engine):
+        blob = bytes(range(256)) * 200  # ~51 KB, spans many pages
+        engine.set(b"blob", blob)
+        assert engine.get(b"blob") == blob
+
+    def test_len_and_keys(self, engine):
+        engine.set(b"a", b"1")
+        engine.set(b"b", b"2")
+        assert len(engine) == 2
+        assert set(engine.keys()) == {b"a", b"b"}
+
+    def test_bad_durability_mode_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            StorageEngine(str(tmp_path / "x"), durability="fsync-maybe")
+
+    def test_closed_engine_rejects_io(self, tmp_path):
+        engine = StorageEngine(str(tmp_path / "c"))
+        engine.close()
+        with pytest.raises(StorageError):
+            engine.get(b"k")
+
+
+class TestTransactions:
+    def test_uncommitted_writes_invisible(self, engine):
+        txn = engine.begin()
+        engine.put(txn, b"k", b"v")
+        assert engine.get(b"k") is None
+        assert engine.get(b"k", txn) == b"v"
+
+    def test_commit_publishes(self, engine):
+        txn = engine.begin()
+        engine.put(txn, b"k", b"v")
+        engine.commit(txn)
+        assert engine.get(b"k") == b"v"
+
+    def test_abort_discards(self, engine):
+        txn = engine.begin()
+        engine.put(txn, b"k", b"v")
+        engine.abort(txn)
+        assert engine.get(b"k") is None
+
+    def test_transactional_delete(self, engine):
+        engine.set(b"k", b"v")
+        txn = engine.begin()
+        engine.delete(txn, b"k")
+        assert engine.get(b"k") == b"v"  # still visible to others
+        assert engine.get(b"k", txn) is None
+        engine.commit(txn)
+        assert engine.get(b"k") is None
+
+    def test_multi_key_atomicity(self, engine):
+        txn = engine.begin()
+        engine.put(txn, b"a", b"1")
+        engine.put(txn, b"b", b"2")
+        engine.delete(txn, b"c")  # delete of missing key: tolerated at commit
+        engine.commit(txn)
+        assert engine.get(b"a") == b"1" and engine.get(b"b") == b"2"
+
+    def test_use_after_commit_rejected(self, engine):
+        txn = engine.begin()
+        engine.put(txn, b"k", b"v")
+        engine.commit(txn)
+        with pytest.raises(WalError):
+            engine.put(txn, b"k2", b"v2")
+
+    def test_use_after_abort_rejected(self, engine):
+        txn = engine.begin()
+        engine.abort(txn)
+        with pytest.raises(WalError):
+            engine.commit(txn)
+
+    def test_last_write_wins_within_txn(self, engine):
+        txn = engine.begin()
+        engine.put(txn, b"k", b"first")
+        engine.put(txn, b"k", b"second")
+        engine.commit(txn)
+        assert engine.get(b"k") == b"second"
+
+
+class TestSpaceReuse:
+    def test_deleted_space_reused(self, engine):
+        for round_number in range(5):
+            for index in range(50):
+                engine.set(f"k{index}".encode(), b"x" * 500)
+            for index in range(50):
+                engine.remove(f"k{index}".encode())
+        # 5 rounds of 50 x 500B fit comfortably if space is reused.
+        assert engine._pages.page_count < 40
+
+    def test_many_keys(self, engine):
+        for index in range(500):
+            engine.set(f"key-{index:04d}".encode(), f"value {index}".encode())
+        assert len(engine) == 500
+        assert engine.get(b"key-0250") == b"value 250"
+
+
+class TestDurabilityModes:
+    def test_force_mode_survives_reopen(self, tmp_path):
+        engine = StorageEngine(str(tmp_path / "f"), durability="force")
+        engine.set(b"k", b"v")
+        engine.close()
+        reopened = StorageEngine(str(tmp_path / "f"), durability="force")
+        assert reopened.get(b"k") == b"v"
+        reopened.close()
+
+    def test_none_mode_works_in_memory(self, tmp_path):
+        engine = StorageEngine(str(tmp_path / "n"), durability="none")
+        engine.set(b"k", b"v")
+        assert engine.get(b"k") == b"v"
+        engine.close()

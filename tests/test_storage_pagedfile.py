@@ -1,0 +1,78 @@
+"""Tests for the paged container file."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import PAGE_SIZE, PagedFile
+
+
+@pytest.fixture
+def pf(tmp_path):
+    with PagedFile(str(tmp_path / "data.pages")) as file:
+        yield file
+
+
+class TestPagedFile:
+    def test_starts_empty(self, pf):
+        assert pf.page_count == 0
+
+    def test_allocate_returns_sequential_ids(self, pf):
+        assert [pf.allocate() for _ in range(3)] == [1, 2, 3]
+
+    def test_new_page_is_zeroed(self, pf):
+        page_id = pf.allocate()
+        assert pf.read(page_id) == bytearray(PAGE_SIZE)
+
+    def test_write_read_roundtrip(self, pf):
+        page_id = pf.allocate()
+        data = bytes(range(256)) * (PAGE_SIZE // 256)
+        pf.write(page_id, data)
+        assert bytes(pf.read(page_id)) == data
+
+    def test_out_of_range_read_rejected(self, pf):
+        with pytest.raises(StorageError):
+            pf.read(1)
+        pf.allocate()
+        with pytest.raises(StorageError):
+            pf.read(2)
+
+    def test_page_zero_is_reserved(self, pf):
+        with pytest.raises(StorageError):
+            pf.read(0)
+
+    def test_short_write_rejected(self, pf):
+        page_id = pf.allocate()
+        with pytest.raises(StorageError):
+            pf.write(page_id, b"short")
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "p.pages")
+        file = PagedFile(path)
+        page_id = file.allocate()
+        file.write(page_id, b"\xAB" * PAGE_SIZE)
+        file.close()
+        reopened = PagedFile(path)
+        assert reopened.page_count == 1
+        assert bytes(reopened.read(page_id)) == b"\xAB" * PAGE_SIZE
+        reopened.close()
+
+    def test_non_page_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.pages"
+        path.write_bytes(b"not a page file" * 400)
+        with pytest.raises(StorageError):
+            PagedFile(str(path))
+
+    def test_closed_file_rejects_io(self, tmp_path):
+        file = PagedFile(str(tmp_path / "c.pages"))
+        page_id = file.allocate()
+        file.close()
+        with pytest.raises(StorageError):
+            file.read(page_id)
+
+    def test_file_size_matches_pages(self, tmp_path, pf):
+        for _ in range(5):
+            pf.allocate()
+        pf.sync()
+        assert os.path.getsize(pf.path) == 6 * PAGE_SIZE  # header + 5

@@ -1,0 +1,141 @@
+"""Property-based storage tests: pages behave like dicts, the engine's
+committed state always survives a crash."""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.storage import SlottedPage, StorageEngine
+
+small_bytes = st.binary(max_size=300)
+keys = st.binary(min_size=1, max_size=24)
+
+
+class PageMachine(RuleBasedStateMachine):
+    """A slotted page is a dict[slot -> bytes] with stable slot numbers."""
+
+    def __init__(self):
+        super().__init__()
+        self.page = SlottedPage()
+        self.shadow: dict[int, bytes] = {}
+
+    @rule(data=small_bytes)
+    def insert(self, data):
+        if not self.page.fits(len(data)):
+            return
+        slot = self.page.insert(data)
+        assert slot not in self.shadow
+        self.shadow[slot] = data
+
+    @rule(data=st.data())
+    def delete_one(self, data):
+        if not self.shadow:
+            return
+        slot = data.draw(st.sampled_from(sorted(self.shadow)))
+        self.page.delete(slot)
+        del self.shadow[slot]
+
+    @rule(data=st.data(), new=small_bytes)
+    def update_one(self, data, new):
+        if not self.shadow:
+            return
+        slot = data.draw(st.sampled_from(sorted(self.shadow)))
+        grow = len(new) - len(self.shadow[slot])
+        if grow > 0 and not self.page.fits(len(new)):
+            return
+        self.page.update(slot, new)
+        self.shadow[slot] = new
+
+    @rule()
+    def compact(self):
+        self.page.compact()
+
+    @invariant()
+    def contents_agree(self):
+        assert set(self.page.slots()) == set(self.shadow)
+        for slot, data in self.shadow.items():
+            assert self.page.get(slot) == data
+
+
+TestPageMachine = PageMachine.TestCase
+TestPageMachine.settings = settings(max_examples=30, stateful_step_count=50)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(keys, st.one_of(st.none(), small_bytes)),
+        min_size=1,
+        max_size=40,
+    ),
+    crash_after=st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_committed_state_survives_crash_at_any_point(tmp_path_factory, ops, crash_after):
+    """Apply ops (value=None means delete), crash after `crash_after` of
+    them, recover: the surviving state must equal the committed prefix."""
+    base = tmp_path_factory.mktemp("fuzz")
+    path = str(base / "db")
+    engine = StorageEngine(path)
+    shadow: dict[bytes, bytes] = {}
+    for index, (key, value) in enumerate(ops):
+        if index == crash_after:
+            break
+        if value is None:
+            if key in engine:
+                engine.remove(key)
+            shadow.pop(key, None)
+        else:
+            engine.set(key, value)
+            shadow[key] = value
+    engine.simulate_crash()
+    recovered = StorageEngine(path)
+    try:
+        assert {k: recovered.get(k) for k in recovered.keys()} == shadow
+    finally:
+        recovered.close()
+
+
+@given(
+    ops=st.lists(st.tuples(keys, small_bytes), min_size=1, max_size=30),
+    checkpoint_at=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=30, deadline=None)
+def test_checkpoint_position_never_affects_recovery(
+    tmp_path_factory, ops, checkpoint_at
+):
+    base = tmp_path_factory.mktemp("ckpt")
+    path = str(base / "db")
+    engine = StorageEngine(path)
+    shadow: dict[bytes, bytes] = {}
+    for index, (key, value) in enumerate(ops):
+        if index == checkpoint_at:
+            engine.checkpoint()
+        engine.set(key, value)
+        shadow[key] = value
+    engine.simulate_crash()
+    recovered = StorageEngine(path)
+    try:
+        for key, value in shadow.items():
+            assert recovered.get(key) == value
+        assert len(recovered) == len(shadow)
+    finally:
+        recovered.close()
+
+
+@given(st.lists(st.tuples(keys, small_bytes), max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_abort_leaves_no_trace(tmp_path_factory, pairs):
+    base = tmp_path_factory.mktemp("abort")
+    engine = StorageEngine(str(base / "db"))
+    try:
+        engine.set(b"anchor", b"stays")
+        txn = engine.begin()
+        for key, value in pairs:
+            engine.put(txn, key, value)
+        engine.abort(txn)
+        assert len(engine) == 1
+        assert engine.get(b"anchor") == b"stays"
+    finally:
+        engine.close()

@@ -1,0 +1,142 @@
+"""Crash-recovery tests: the WAL discipline actually holds."""
+
+import pytest
+
+from repro.storage import StorageEngine
+
+
+def reopen(tmp_path, name="db", **kw):
+    return StorageEngine(str(tmp_path / name), **kw)
+
+
+class TestCrashRecovery:
+    def test_committed_survive_crash(self, tmp_path):
+        engine = reopen(tmp_path)
+        engine.set(b"a", b"1")
+        engine.set(b"b", b"2")
+        engine.simulate_crash()
+        recovered = reopen(tmp_path)
+        assert recovered.get(b"a") == b"1"
+        assert recovered.get(b"b") == b"2"
+        recovered.close()
+
+    def test_uncommitted_lost_on_crash(self, tmp_path):
+        engine = reopen(tmp_path)
+        engine.set(b"keep", b"yes")
+        txn = engine.begin()
+        engine.put(txn, b"lose", b"no")
+        engine.simulate_crash()
+        recovered = reopen(tmp_path)
+        assert recovered.get(b"keep") == b"yes"
+        assert recovered.get(b"lose") is None
+        recovered.close()
+
+    def test_aborted_txn_not_replayed(self, tmp_path):
+        engine = reopen(tmp_path)
+        txn = engine.begin()
+        engine.put(txn, b"k", b"v")
+        engine.abort(txn)
+        engine.set(b"other", b"x")
+        engine.simulate_crash()
+        recovered = reopen(tmp_path)
+        assert recovered.get(b"k") is None
+        assert recovered.get(b"other") == b"x"
+        recovered.close()
+
+    def test_delete_survives_crash(self, tmp_path):
+        engine = reopen(tmp_path)
+        engine.set(b"k", b"v")
+        engine.remove(b"k")
+        engine.simulate_crash()
+        recovered = reopen(tmp_path)
+        assert recovered.get(b"k") is None
+        recovered.close()
+
+    def test_recovery_report_counts(self, tmp_path):
+        engine = reopen(tmp_path)
+        engine.set(b"a", b"1")
+        engine.set(b"b", b"2")
+        engine.remove(b"a")
+        engine.simulate_crash()
+        recovered = reopen(tmp_path)
+        report = recovered.last_recovery
+        assert report.committed_txns == 3
+        assert report.puts_replayed == 2
+        assert report.deletes_replayed == 1
+        recovered.close()
+
+    def test_loser_transaction_reported_and_ignored(self, tmp_path):
+        """A flushed-but-uncommitted transaction is a 'loser': analysis
+        reports it and redo skips its operations."""
+        engine = reopen(tmp_path)
+        engine.set(b"winner", b"w")
+        txn = engine.begin()
+        engine.put(txn, b"loser-key", b"l")
+        engine._wal.flush()  # records hit disk, COMMIT never does
+        engine.simulate_crash()
+        recovered = reopen(tmp_path)
+        report = recovered.last_recovery
+        assert report.losers == 1
+        assert report.loser_txn_ids == [txn.txn_id]
+        assert recovered.get(b"loser-key") is None
+        assert recovered.get(b"winner") == b"w"
+        recovered.close()
+
+    def test_checkpoint_truncates_log(self, tmp_path):
+        engine = reopen(tmp_path)
+        for index in range(20):
+            engine.set(f"k{index}".encode(), b"v")
+        engine.checkpoint()
+        assert engine._wal.end_lsn == 0
+        engine.set(b"after", b"chk")
+        engine.simulate_crash()
+        recovered = reopen(tmp_path)
+        assert recovered.last_recovery.records_scanned <= 3  # only post-ckpt
+        assert recovered.get(b"k7") == b"v"
+        assert recovered.get(b"after") == b"chk"
+        recovered.close()
+
+    def test_multiple_crash_cycles(self, tmp_path):
+        expected = {}
+        for cycle in range(5):
+            engine = reopen(tmp_path)
+            for key, value in expected.items():
+                assert engine.get(key) == value, f"cycle {cycle}"
+            key = f"cycle-{cycle}".encode()
+            engine.set(key, str(cycle).encode() * 10)
+            expected[key] = str(cycle).encode() * 10
+            if cycle % 2 == 0:
+                engine.checkpoint()
+            engine.simulate_crash()
+        final = reopen(tmp_path)
+        for key, value in expected.items():
+            assert final.get(key) == value
+        final.close()
+
+    def test_update_before_crash_keeps_latest(self, tmp_path):
+        engine = reopen(tmp_path)
+        engine.set(b"k", b"old")
+        engine.checkpoint()
+        engine.set(b"k", b"new")
+        engine.simulate_crash()
+        recovered = reopen(tmp_path)
+        assert recovered.get(b"k") == b"new"
+        recovered.close()
+
+    def test_large_value_recovery(self, tmp_path):
+        blob = b"\x42" * 30_000
+        engine = reopen(tmp_path)
+        engine.set(b"blob", blob)
+        engine.simulate_crash()
+        recovered = reopen(tmp_path)
+        assert recovered.get(b"blob") == blob
+        recovered.close()
+
+    def test_clean_close_then_open_has_no_log_work(self, tmp_path):
+        engine = reopen(tmp_path)
+        engine.set(b"k", b"v")
+        engine.close()
+        recovered = reopen(tmp_path)
+        assert recovered.last_recovery.records_scanned == 0
+        assert recovered.get(b"k") == b"v"
+        recovered.close()

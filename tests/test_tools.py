@@ -1,0 +1,172 @@
+"""Tests for the admin tools: archiving and compaction."""
+
+import random
+
+import pytest
+
+from repro.core import NotesDatabase
+from repro.errors import DatabaseError
+from repro.replication import Replicator
+from repro.storage import StorageEngine
+from repro.tools import archive_documents, compact_engine
+
+
+@pytest.fixture
+def archive_db(clock):
+    return NotesDatabase("archive.nsf", clock=clock, rng=random.Random(99),
+                         server="alpha")
+
+
+class TestArchive:
+    def test_old_documents_move(self, db, archive_db, clock):
+        old = db.create({"Subject": "ancient"})
+        clock.advance(1000)
+        fresh = db.create({"Subject": "new"})
+        result = archive_documents(db, archive_db, not_modified_since=500.0)
+        assert result.archived == 1
+        assert old.unid in archive_db and old.unid not in db
+        assert fresh.unid in db
+        assert archive_db.get(old.unid).get("Subject") == "ancient"
+
+    def test_envelope_preserved(self, db, archive_db, clock):
+        doc = db.create({"Subject": "v1"})
+        db.update(doc.unid, {"Subject": "v2"})
+        clock.advance(1000)
+        archive_documents(db, archive_db, not_modified_since=500.0)
+        copy = archive_db.get(doc.unid)
+        assert copy.seq == doc.seq
+        assert copy.revisions == doc.revisions
+
+    def test_selection_formula_restricts(self, db, archive_db, clock):
+        db.create({"Form": "Memo", "Subject": "m"})
+        keep = db.create({"Form": "Order", "Subject": "o"})
+        clock.advance(1000)
+        result = archive_documents(
+            db, archive_db, not_modified_since=500.0,
+            selection='SELECT Form = "Memo"',
+        )
+        assert result.archived == 1
+        assert keep.unid in db
+
+    def test_archiving_leaves_stub_for_replication(self, pair, archive_db, clock):
+        a, b = pair
+        doc = a.create({"Subject": "x"})
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        clock.advance(1000)
+        archive_documents(a, archive_db, not_modified_since=500.0)
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        assert doc.unid not in b  # the archive delete replicated
+
+    def test_archive_must_not_be_replica(self, pair):
+        a, b = pair
+        with pytest.raises(DatabaseError):
+            archive_documents(a, b, not_modified_since=0.0)
+
+    def test_thread_integrity_kept(self, db, archive_db, clock):
+        topic = db.create({"Subject": "topic"})
+        clock.advance(10)
+        response = db.create({"Subject": "re"}, parent=topic.unid)
+        clock.advance(1000)
+        # keep the topic fresh; the response is old but its parent stays
+        db.update(topic.unid, {"Subject": "still active"})
+        result = archive_documents(db, archive_db, not_modified_since=500.0)
+        assert result.archived == 0
+        assert response.unid in db
+
+    def test_whole_thread_archives_together(self, db, archive_db, clock):
+        topic = db.create({"Subject": "topic"})
+        clock.advance(10)
+        db.create({"Subject": "re"}, parent=topic.unid)
+        clock.advance(1000)
+        result = archive_documents(db, archive_db, not_modified_since=500.0)
+        assert result.archived == 2
+        assert len(archive_db) == 2
+
+    def test_tear_threads_when_disabled(self, db, archive_db, clock):
+        topic = db.create({"Subject": "topic"})
+        clock.advance(10)
+        old_response = db.create({"Subject": "re"}, parent=topic.unid)
+        clock.advance(1000)
+        db.update(topic.unid, {"Subject": "active"})
+        result = archive_documents(
+            db, archive_db, not_modified_since=500.0,
+            keep_responses_with_parents=False,
+        )
+        assert result.archived == 1
+        assert old_response.unid in archive_db
+
+
+class TestCompact:
+    def test_preserves_all_data(self, tmp_path):
+        engine = StorageEngine(str(tmp_path / "db"))
+        expected = {}
+        for index in range(200):
+            key = f"k{index}".encode()
+            value = (f"v{index}" * 20).encode()
+            engine.set(key, value)
+            expected[key] = value
+        for index in range(0, 200, 2):
+            engine.remove(f"k{index}".encode())
+            del expected[f"k{index}".encode()]
+        result = compact_engine(engine)
+        assert result.keys == 100
+        assert {k: engine.get(k) for k in engine.keys()} == expected
+        engine.close()
+
+    def test_reclaims_space(self, tmp_path):
+        engine = StorageEngine(str(tmp_path / "db"))
+        for index in range(300):
+            engine.set(f"k{index}".encode(), b"x" * 800)
+        for index in range(280):
+            engine.remove(f"k{index}".encode())
+        result = compact_engine(engine)
+        assert result.pages_after < result.pages_before
+        assert result.reclaimed_bytes > 0
+        engine.close()
+
+    def test_engine_usable_after_compaction(self, tmp_path):
+        engine = StorageEngine(str(tmp_path / "db"))
+        engine.set(b"before", b"1")
+        compact_engine(engine)
+        engine.set(b"after", b"2")
+        assert engine.get(b"before") == b"1"
+        assert engine.get(b"after") == b"2"
+        engine.close()
+
+    def test_durable_across_crash_after_compaction(self, tmp_path):
+        engine = StorageEngine(str(tmp_path / "db"))
+        engine.set(b"k", b"v")
+        compact_engine(engine)
+        engine.set(b"post", b"compact")
+        engine.simulate_crash()
+        recovered = StorageEngine(str(tmp_path / "db"))
+        assert recovered.get(b"k") == b"v"
+        assert recovered.get(b"post") == b"compact"
+        recovered.close()
+
+    def test_compact_empty_engine(self, tmp_path):
+        engine = StorageEngine(str(tmp_path / "db"))
+        result = compact_engine(engine)
+        assert result.keys == 0
+        engine.set(b"k", b"v")
+        assert engine.get(b"k") == b"v"
+        engine.close()
+
+    def test_database_survives_compaction(self, tmp_path, clock):
+        engine = StorageEngine(str(tmp_path / "nsf"))
+        db = NotesDatabase("c.nsf", clock=clock, rng=random.Random(1),
+                          engine=engine)
+        doc = db.create({"Subject": "content"})
+        for index in range(50):
+            trash = db.create({"Subject": f"temp {index}"})
+            db.delete(trash.unid)
+        compact_engine(engine)
+        engine.close()
+        engine2 = StorageEngine(str(tmp_path / "nsf"))
+        reloaded = NotesDatabase("c.nsf", clock=clock, rng=random.Random(2),
+                                 engine=engine2)
+        assert reloaded.get(doc.unid).get("Subject") == "content"
+        assert len(reloaded.stubs) == 50
+        engine2.close()

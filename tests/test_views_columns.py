@@ -1,0 +1,73 @@
+"""Tests for view columns and collation."""
+
+import pytest
+
+from repro.core import Document
+from repro.errors import ViewError
+from repro.views import SortOrder, ViewColumn, collate
+from repro.views.column import Descending
+
+
+@pytest.fixture
+def doc():
+    document = Document("A" * 32)
+    document.set_all({"Subject": "Plan", "Amount": 7, "Tags": ["x", "y"]})
+    return document
+
+
+class TestCollation:
+    def test_numbers_before_text(self):
+        assert collate(5) < collate("5")
+
+    def test_text_case_insensitive_primary(self):
+        assert collate("Apple") < collate("banana")
+        assert collate("apple") != collate("Apple")  # tie-break keeps both
+
+    def test_missing_sorts_first(self):
+        assert collate(None) < collate(0)
+        assert collate(None) < collate("")
+
+    def test_list_collates_on_first_element(self):
+        assert collate(["b", "a"]) == collate("b")
+        assert collate([]) == collate("")
+
+    def test_uncollatable_rejected(self):
+        with pytest.raises(ViewError):
+            collate({"not": "ok"})
+
+    def test_descending_wrapper_inverts(self):
+        assert Descending(collate(1)) > Descending(collate(2))
+        assert Descending(collate("a")) > Descending(collate("b"))
+        assert Descending(collate(1)) == Descending(collate(1))
+
+
+class TestViewColumn:
+    def test_item_column(self, doc):
+        column = ViewColumn(title="Subject", item="Subject")
+        assert column.value_for(doc) == "Plan"
+
+    def test_formula_column(self, doc):
+        column = ViewColumn(title="Double", formula="Amount * 2")
+        assert column.value_for(doc) == 14
+
+    def test_formula_column_multi_value(self, doc):
+        column = ViewColumn(title="Tags", formula="Tags")
+        assert column.value_for(doc) == ["x", "y"]
+
+    def test_item_or_formula_required(self):
+        with pytest.raises(ViewError):
+            ViewColumn(title="Broken")
+        with pytest.raises(ViewError):
+            ViewColumn(title="Both", item="A", formula="B")
+
+    def test_categorized_implies_sorted(self):
+        column = ViewColumn(title="Cat", item="C", categorized=True)
+        assert column.sort == SortOrder.ASCENDING
+
+    def test_key_component_none_when_unsorted(self, doc):
+        column = ViewColumn(title="S", item="Subject")
+        assert column.key_component("x") is None
+
+    def test_key_component_descending_wrapped(self, doc):
+        column = ViewColumn(title="S", item="Subject", sort=SortOrder.DESCENDING)
+        assert isinstance(column.key_component("x"), Descending)

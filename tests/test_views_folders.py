@@ -1,0 +1,146 @@
+"""Tests for folders and unread marks."""
+
+import pytest
+
+from repro.errors import ViewError
+from repro.views import Folder, SortOrder, UnreadTracker, View, ViewColumn
+
+
+@pytest.fixture
+def folder(db):
+    return Folder(
+        db, "Favorites",
+        columns=[ViewColumn(title="Subject", item="Subject",
+                            sort=SortOrder.ASCENDING)],
+    )
+
+
+class TestFolder:
+    def test_add_and_contains(self, db, folder):
+        doc = db.create({"Subject": "keep"})
+        folder.add(doc.unid)
+        assert doc.unid in folder
+        assert len(folder) == 1
+
+    def test_add_is_idempotent(self, db, folder):
+        doc = db.create({"Subject": "x"})
+        folder.add(doc.unid)
+        folder.add(doc.unid)
+        assert len(folder) == 1
+
+    def test_add_missing_rejected(self, folder):
+        with pytest.raises(ViewError):
+            folder.add("F" * 32)
+
+    def test_remove(self, db, folder):
+        doc = db.create({"Subject": "x"})
+        folder.add(doc.unid)
+        folder.remove(doc.unid)
+        assert doc.unid not in folder
+
+    def test_remove_unfiled_rejected(self, db, folder):
+        doc = db.create({"Subject": "x"})
+        with pytest.raises(ViewError):
+            folder.remove(doc.unid)
+
+    def test_sorted_contents(self, db, folder):
+        for subject in ("mango", "apple", "zebra"):
+            doc = db.create({"Subject": subject})
+            folder.add(doc.unid)
+        assert [d.get("Subject") for d in folder.documents()] == [
+            "apple", "mango", "zebra",
+        ]
+
+    def test_membership_is_manual_not_selective(self, db, folder):
+        filed = db.create({"Subject": "in"})
+        db.create({"Subject": "out"})
+        folder.add(filed.unid)
+        assert len(folder) == 1
+
+    def test_edit_rekeys_member(self, db, folder):
+        doc = db.create({"Subject": "mmm"})
+        other = db.create({"Subject": "aaa"})
+        folder.add(doc.unid)
+        folder.add(other.unid)
+        db.update(doc.unid, {"Subject": "000-first"})
+        assert folder.documents()[0].unid == doc.unid
+
+    def test_delete_removes_member(self, db, folder):
+        doc = db.create({"Subject": "gone"})
+        folder.add(doc.unid)
+        db.delete(doc.unid)
+        assert len(folder) == 0
+        assert folder.documents() == []
+
+    def test_same_doc_in_two_folders(self, db, folder):
+        other = Folder(db, "Archive")
+        doc = db.create({"Subject": "both"})
+        folder.add(doc.unid)
+        other.add(doc.unid)
+        folder.remove(doc.unid)
+        assert doc.unid in other
+
+
+class TestUnread:
+    @pytest.fixture
+    def tracker(self, db):
+        return UnreadTracker(db)
+
+    def test_new_docs_unread(self, db, tracker):
+        doc = db.create({"Subject": "x"})
+        assert tracker.is_unread("alice", doc)
+        assert tracker.unread_count("alice") == 1
+
+    def test_mark_read(self, db, tracker):
+        doc = db.create({"Subject": "x"})
+        tracker.mark_read("alice", doc.unid)
+        assert not tracker.is_unread("alice", db.get(doc.unid))
+
+    def test_unread_is_per_user(self, db, tracker):
+        doc = db.create({"Subject": "x"})
+        tracker.mark_read("alice", doc.unid)
+        assert tracker.is_unread("bob", db.get(doc.unid))
+
+    def test_revision_resets_to_unread(self, db, clock, tracker):
+        doc = db.create({"Subject": "x"})
+        tracker.mark_read("alice", doc.unid)
+        clock.advance(1)
+        db.update(doc.unid, {"Subject": "revised"})
+        assert tracker.is_unread("alice", db.get(doc.unid))
+
+    def test_replicated_update_resets_too(self, pair, clock, tracker):
+        from repro.replication import Replicator
+
+        a, b = pair
+        track = UnreadTracker(a)
+        doc = a.create({"Subject": "x"})
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        track.mark_read("alice", doc.unid)
+        clock.advance(1)
+        b.update(doc.unid, {"Subject": "remote edit"})
+        clock.advance(1)
+        Replicator().replicate(a, b)
+        assert track.is_unread("alice", a.get(doc.unid))
+
+    def test_mark_all_read(self, db, tracker):
+        for index in range(5):
+            db.create({"Subject": str(index)})
+        assert tracker.mark_all_read("alice") == 5
+        assert tracker.unread_count("alice") == 0
+
+    def test_mark_unread(self, db, tracker):
+        doc = db.create({"Subject": "x"})
+        tracker.mark_read("alice", doc.unid)
+        tracker.mark_unread("alice", doc.unid)
+        assert tracker.is_unread("alice", db.get(doc.unid))
+
+    def test_unread_count_scoped_to_view(self, db, tracker):
+        view = View(db, "Orders", selection='SELECT Form = "Order"',
+                    columns=[ViewColumn(title="S", item="Subject")])
+        order = db.create({"Form": "Order", "Subject": "o"})
+        db.create({"Form": "Memo", "Subject": "m"})
+        assert tracker.unread_count("alice", view=view) == 1
+        tracker.mark_read("alice", order.unid)
+        assert tracker.unread_count("alice", view=view) == 0
+        assert tracker.unread_count("alice") == 1

@@ -1,0 +1,159 @@
+"""Tests for hierarchical (response) views and the navigator."""
+
+import pytest
+
+from repro.core import NotesDatabase
+from repro.views import SortOrder, View, ViewColumn, ViewNavigator
+
+
+@pytest.fixture
+def disc(db, clock):
+    """A small discussion: two topics, nested responses."""
+    topics = {}
+    topics["t1"] = db.create({"Form": "MainTopic", "Subject": "mango"})
+    clock.advance(1)
+    topics["t2"] = db.create({"Form": "MainTopic", "Subject": "apple"})
+    clock.advance(1)
+    topics["r1"] = db.create({"Form": "Response", "Subject": "re one"},
+                             parent=topics["t1"].unid)
+    clock.advance(1)
+    topics["r2"] = db.create({"Form": "Response", "Subject": "re two"},
+                             parent=topics["r1"].unid)
+    clock.advance(1)
+    topics["r3"] = db.create({"Form": "Response", "Subject": "re three"},
+                             parent=topics["t2"].unid)
+    return db, topics
+
+
+def hier_view(db, selection='SELECT Form = "MainTopic" | @AllDescendants'):
+    return View(
+        db,
+        "Threads",
+        selection=selection,
+        columns=[ViewColumn(title="Subject", item="Subject",
+                            sort=SortOrder.ASCENDING)],
+        hierarchical=True,
+    )
+
+
+class TestHierarchy:
+    def test_responses_follow_parents(self, disc):
+        db, docs = disc
+        view = hier_view(db)
+        order = [(e.values[0], e.level) for e in view.entries()]
+        assert order == [
+            ("apple", 0),
+            ("re three", 1),
+            ("mango", 0),
+            ("re one", 1),
+            ("re two", 2),
+        ]
+
+    def test_alldescendants_excludes_unrelated_responses(self, disc):
+        db, docs = disc
+        orphan_root = db.create({"Form": "Noise", "Subject": "hidden"})
+        db.create({"Form": "Response", "Subject": "re hidden"},
+                  parent=orphan_root.unid)
+        view = hier_view(db)
+        subjects = [e.values[0] for e in view.entries()]
+        assert "re hidden" not in subjects
+        assert "hidden" not in subjects
+
+    def test_allchildren_only_first_level(self, disc):
+        db, docs = disc
+        view = hier_view(db, 'SELECT Form = "MainTopic" | @AllChildren')
+        subjects = [e.values[0] for e in view.entries()]
+        assert "re one" in subjects
+        assert "re two" not in subjects  # grandchild
+
+    def test_parent_edit_rekeys_subtree(self, disc):
+        db, docs = disc
+        view = hier_view(db)
+        db.update(docs["t1"].unid, {"Subject": "aaa first now"})
+        order = [(e.values[0], e.level) for e in view.entries()]
+        assert order[0] == ("aaa first now", 0)
+        assert order[1] == ("re one", 1)
+        assert order[2] == ("re two", 2)
+
+    def test_parent_delete_promotes_orphan(self, disc):
+        db, docs = disc
+        view = hier_view(db)
+        db.delete(docs["t1"].unid)
+        subjects = {e.values[0] for e in view.entries()}
+        # children of the deleted topic no longer qualify via ancestry
+        assert "re one" not in subjects and "re two" not in subjects
+
+    def test_response_arriving_before_parent_placement(self, db, clock):
+        """Replication can deliver a response before its parent."""
+        from repro.core import Document
+
+        parent_unid = "P" * 32
+        response = Document("R" * 32, created=5.0)
+        response.set_all({"Form": "Response", "Subject": "early bird"})
+        response.parent_unid = parent_unid
+        view = hier_view(db)
+        db.raw_put(response)
+        assert len(view) == 0  # not selectable: no ancestor yet
+        parent = Document(parent_unid, created=1.0)
+        parent.set_all({"Form": "MainTopic", "Subject": "late parent"})
+        db.raw_put(parent)
+        order = [(e.values[0], e.level) for e in view.entries()]
+        assert order == [("late parent", 0), ("early bird", 1)]
+
+    def test_flat_view_ignores_hierarchy(self, disc):
+        db, docs = disc
+        view = View(
+            db,
+            "Flat",
+            selection="SELECT @All",
+            columns=[ViewColumn(title="Subject", item="Subject",
+                                sort=SortOrder.ASCENDING)],
+            hierarchical=False,
+        )
+        assert all(e.level == 0 for e in view.entries())
+
+
+class TestNavigator:
+    @pytest.fixture
+    def nav(self, disc):
+        db, _ = disc
+        return ViewNavigator(hier_view(db))
+
+    def test_first_last(self, nav):
+        assert nav.first().values[0] == "apple"
+        assert nav.last().values[0] == "re two"
+
+    def test_next_previous(self, nav):
+        nav.first()
+        assert nav.next().values[0] == "re three"
+        assert nav.previous().values[0] == "apple"
+        assert nav.previous() is None
+
+    def test_next_at_end(self, nav):
+        nav.last()
+        assert nav.next() is None
+
+    def test_page(self, nav):
+        nav.first()
+        page = nav.page(3)
+        assert [row.values[0] for row in page] == ["apple", "re three", "mango"]
+
+    def test_goto_key(self, nav):
+        row = nav.goto_key("mango")
+        assert row.values[0] == "mango"
+        assert nav.current.values[0] == "mango"
+
+    def test_goto_unid(self, disc):
+        db, docs = disc
+        nav = ViewNavigator(hier_view(db))
+        row = nav.goto_unid(docs["r2"].unid)
+        assert row.values[0] == "re two"
+
+    def test_goto_missing(self, nav):
+        assert nav.goto_key("not-there") is None
+
+    def test_empty_view_navigation(self, db):
+        view = hier_view(db)
+        nav = ViewNavigator(view)
+        assert nav.first() is None and nav.last() is None
+        assert nav.page(5) == []

@@ -1,0 +1,102 @@
+"""Property-based view tests: the incremental index always equals a fresh
+rebuild, and view order always equals the collation-sorted document list."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NotesDatabase
+from repro.sim import VirtualClock
+from repro.views import SortOrder, View, ViewColumn
+
+subjects = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"),
+                           max_codepoint=127),
+    min_size=1,
+    max_size=8,
+)
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "update", "delete", "retype"]),
+        st.integers(min_value=0, max_value=100),
+        subjects,
+    ),
+    max_size=40,
+)
+
+
+def fresh_db():
+    return NotesDatabase("prop.nsf", clock=VirtualClock(),
+                         rng=random.Random(42))
+
+
+def make_view(db, mode):
+    return View(
+        db, "P",
+        selection='SELECT Form = "Memo"',
+        columns=[
+            ViewColumn(title="Subject", item="Subject",
+                       sort=SortOrder.ASCENDING),
+            ViewColumn(title="N", item="N"),
+        ],
+        mode=mode,
+    )
+
+
+def apply(db, ops):
+    counter = 0
+    for op, pick, subject in ops:
+        db.clock.advance(1)
+        unids = db.unids()
+        if op == "create" or not unids:
+            counter += 1
+            db.create({"Form": "Memo", "Subject": subject, "N": counter})
+        elif op == "update":
+            db.update(unids[pick % len(unids)], {"Subject": subject})
+        elif op == "retype":
+            db.update(unids[pick % len(unids)],
+                      {"Form": "Other" if pick % 2 else "Memo"})
+        else:
+            db.delete(unids[pick % len(unids)])
+
+
+@given(ops=operations)
+@settings(max_examples=50, deadline=None)
+def test_incremental_view_equals_rebuild(ops):
+    db = fresh_db()
+    incremental = make_view(db, "auto")
+    apply(db, ops)
+    rebuilt = make_view(db, "manual")
+    assert incremental.all_unids() == rebuilt.all_unids()
+    assert [e.values for e in incremental.entries()] == [
+        e.values for e in rebuilt.entries()
+    ]
+
+
+@given(ops=operations)
+@settings(max_examples=50, deadline=None)
+def test_view_order_matches_sorted_documents(ops):
+    db = fresh_db()
+    view = make_view(db, "auto")
+    apply(db, ops)
+    from repro.views import collate
+
+    expected = sorted(
+        (doc for doc in db.all_documents() if doc.form == "Memo"),
+        key=lambda doc: (collate(doc.get("Subject", "")),
+                         (1, doc.created, doc.unid)),
+    )
+    assert view.all_unids() == [doc.unid for doc in expected]
+
+
+@given(ops=operations)
+@settings(max_examples=30, deadline=None)
+def test_view_membership_matches_selection(ops):
+    db = fresh_db()
+    view = make_view(db, "auto")
+    apply(db, ops)
+    memos = {doc.unid for doc in db.all_documents() if doc.form == "Memo"}
+    assert set(view.all_unids()) == memos
+    assert len(view) == len(memos)
