@@ -1,0 +1,80 @@
+"""Benchmark smoke: a <60s sanity pass over the experiment shapes.
+
+Runs shrunken versions of the headline experiment cells without the
+pytest-benchmark timing machinery, so CI can assert the qualitative
+claims (incremental beats full copy, the change feed examines the delta,
+the cluster backlog drains) on every PR without paying for the full
+sweeps. Run with::
+
+    pytest benchmarks/bench_smoke.py -q
+"""
+
+from __future__ import annotations
+
+from repro.bench.runners import build_changefeed_db, build_deployment, populate
+from repro.cluster import ClusterReplicator
+from repro.replication import Replicator, converged
+
+
+def test_smoke_incremental_beats_full_copy():
+    deployment = build_deployment(2, seed=1)
+    a, b = deployment.databases
+    populate(a, 200, deployment.rng)
+    deployment.clock.advance(1)
+    rep = Replicator()
+    rep.pull(b, a)
+    deployment.clock.advance(1)
+    for unid in deployment.rng.sample(a.unids(), 5):
+        a.update(unid, {"Status": "edited"})
+    deployment.clock.advance(1)
+    incremental = rep.pull(b, a)
+    full = rep.full_copy(b, a)
+    assert incremental.docs_transferred == 5
+    assert full.bytes_transferred > 10 * max(incremental.bytes_transferred, 1)
+    assert converged([a, b])
+
+
+def test_smoke_changefeed_examines_delta():
+    db, mark_seq, mark_time = build_changefeed_db(5_000, 50)
+    docs, stubs = db.changed_since_seq(mark_seq)
+    assert len(docs) == 50 and not stubs
+    assert db.last_scan_cost <= 50
+    db.changed_since_scan(mark_time)
+    assert db.last_scan_cost >= 5_000
+
+
+def test_smoke_replication_pass_scans_delta_only():
+    deployment = build_deployment(2, seed=13)
+    a, b = deployment.databases
+    populate(a, 500, deployment.rng, body_bytes=64)
+    deployment.clock.advance(1)
+    rep = Replicator()
+    rep.pull(b, a)
+    deployment.clock.advance(1)
+    for unid in deployment.rng.sample(a.unids(), 10):
+        a.update(unid, {"Status": "tick"})
+    deployment.clock.advance(1)
+    stats = rep.pull(b, a)
+    assert stats.docs_transferred == 10
+    assert stats.docs_scanned <= 10
+
+
+def test_smoke_cluster_backlog_drains():
+    deployment = build_deployment(3, seed=7)
+    a, b, c = deployment.databases
+    cluster = ClusterReplicator(deployment.network)
+    for member in deployment.databases:
+        cluster.attach(member)
+    a.create({"S": "live"})
+    assert len(b) == len(c) == 1
+    deployment.network.partition(a.server, c.server)
+    deployment.network.partition(b.server, c.server)
+    for index in range(5):
+        a.create({"S": f"offline {index}"})
+    assert len(b) == 6 and len(c) == 1
+    assert cluster.backlog_size >= 5
+    deployment.network.partition(a.server, c.server, partitioned=False)
+    deployment.network.partition(b.server, c.server, partitioned=False)
+    cluster.catch_up()
+    assert len(c) == 6
+    assert cluster.backlog_size == 0

@@ -24,7 +24,9 @@ class AgentRunner:
     def __init__(self, db: NotesDatabase) -> None:
         self.db = db
         self.agents: list[Agent] = []
-        self._last_run: dict[str, float] = {}
+        # Per-agent high-water mark into the database's update-sequence
+        # journal; a run examines only notes sequenced after the mark.
+        self._last_seq: dict[str, int] = {}
         self._in_agent = False
         db.subscribe(self._on_change)
 
@@ -38,7 +40,7 @@ class AgentRunner:
         if any(existing.name == agent.name for existing in self.agents):
             raise AgentError(f"duplicate agent name {agent.name!r}")
         self.agents.append(agent)
-        self._last_run[agent.name] = self.db.clock.now
+        self._last_seq[agent.name] = self.db.update_seq
         if agent.trigger == AgentTrigger.SCHEDULED:
             if events is None:
                 raise AgentError(
@@ -59,7 +61,7 @@ class AgentRunner:
         """Unregister an agent; any pending schedule stops running it."""
         agent = self.agent(name)
         self.agents.remove(agent)
-        self._last_run.pop(name, None)
+        self._last_seq.pop(name, None)
 
     def agent(self, name: str) -> Agent:
         for candidate in self.agents:
@@ -76,10 +78,14 @@ class AgentRunner:
         """
         if agent.scan == "all":
             full_scan = True
-        since = 0.0 if full_scan else self._last_run.get(agent.name, 0.0)
-        docs, _ = self.db.changed_since(since)
+        since = 0 if full_scan else self._last_seq.get(agent.name, 0)
+        # Capture the mark before applying: the agent's own writes land
+        # after it, so (like the timestamp semantics this replaces) they
+        # are visible to the agent's next run.
+        mark = self.db.update_seq
+        docs, _ = self.db.changed_since_seq(since)
         touched = self._apply(agent, docs)
-        self._last_run[agent.name] = self.db.clock.now
+        self._last_seq[agent.name] = mark
         agent.runs += 1
         return touched
 

@@ -79,3 +79,34 @@ def populate(
         )
         unids.append(doc.unid)
     return unids
+
+
+def build_changefeed_db(
+    n_docs: int,
+    n_changes: int,
+    seed: int = 7,
+    body_bytes: int = 64,
+) -> tuple[NotesDatabase, int, float]:
+    """A database with ``n_docs`` documents of which ``n_changes`` were
+    modified after the returned cutoff marks.
+
+    Returns ``(db, mark_seq, mark_time)`` — the seq and timestamp cutoffs
+    a change-feed consumer would hold from its previous pass, so callers
+    can compare ``changed_since_seq(mark_seq)`` against the full-scan
+    ablation ``changed_since_scan(mark_time)`` on identical state.
+    """
+    clock = VirtualClock()
+    rng = random.Random(seed)
+    db = NotesDatabase(
+        "feed.nsf", clock=clock, rng=random.Random(rng.getrandbits(64)),
+        server="hub",
+    )
+    populate(db, n_docs, rng, body_bytes=body_bytes, advance=0.001)
+    clock.advance(1)
+    mark_seq = db.update_seq
+    mark_time = clock.now
+    clock.advance(1)
+    for unid in rng.sample(db.unids(), n_changes):
+        db.update(unid, {"Status": f"edited {rng.random():.4f}"})
+    clock.advance(1)
+    return db, mark_seq, mark_time

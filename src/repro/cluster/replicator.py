@@ -5,6 +5,12 @@ the other members (with the same originator-id comparison the scheduled
 replicator uses, so echoes and races resolve identically). Pushes to an
 unreachable member queue in a backlog that drains when the member returns —
 ``catch_up`` is the cluster-join/restart path.
+
+The backlog rides on the database's update-sequence journal: entries are
+keyed per (link, UNID) and carry the origin's update seq at queue time, so
+repeated edits to one document during an outage collapse to a single queued
+entry (the drain ships the *current* revision anyway) and the backlog stays
+bounded by the number of distinct changed notes, not the number of changes.
 """
 
 from __future__ import annotations
@@ -41,8 +47,11 @@ class ClusterReplicator:
         self.conflict_policy = conflict_policy
         self.stats = ClusterReplicationStats()
         self._members: list[NotesDatabase] = []
-        # (source server, target server) -> pending unids/stubs
-        self._backlog: dict[tuple[str, str], list] = {}
+        # (source server, target server) -> {unid: (stub | None, origin seq)}
+        # One live entry per note per link; a later change to the same note
+        # supersedes the queued one (the current revision is shipped on
+        # drain, so nothing is lost by collapsing).
+        self._backlog: dict[tuple[str, str], dict] = {}
         self._pushing = False
 
     # -- membership -----------------------------------------------------
@@ -80,9 +89,10 @@ class ClusterReplicator:
             if member is origin:
                 continue
             if not self.network.is_reachable(origin.server, member.server):
+                unid = doc.unid if doc is not None else stub.unid
                 self._backlog.setdefault(
-                    (origin.server, member.server), []
-                ).append((doc.unid if doc else None, stub))
+                    (origin.server, member.server), {}
+                )[unid] = (stub, origin.update_seq)
                 self.stats.queued += 1
                 continue
             self._push_one(origin, member, doc, stub)
@@ -152,7 +162,7 @@ class ClusterReplicator:
             target = self._member_on(dst_name)
             if source is None or target is None:
                 continue
-            for unid, stub in entries:
+            for unid, (stub, _queued_seq) in entries.items():
                 if stub is not None:
                     current_stub = source.stubs.get(stub.unid, stub)
                     self._push_one(source, target, None, current_stub)

@@ -12,6 +12,14 @@ Responsibilities:
   to trash and restored before a hard delete.
 * Change events: views, full-text indexes and cluster replicators subscribe
   to create/update/delete notifications for incremental maintenance.
+* The **update-sequence journal**: every write is assigned the next local
+  sequence number and recorded in a by-seq journal (one live entry per
+  UNID, the CouchDB ``_changes`` design). Replication reads the journal
+  suffix instead of scanning the database, so a pass costs O(changes)
+  rather than O(database).
+* Maintained secondary indexes: parent→children (``responses``),
+  profile-document lookup (``profile``), and an incrementally maintained
+  state fingerprint.
 * Optional durability through :class:`repro.storage.StorageEngine`.
 * Optional access control through an attached ACL (``repro.security``).
 
@@ -21,10 +29,13 @@ and agents are for.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 from typing import Any, Callable, Iterator
 
 from repro.errors import AccessDenied, DatabaseError, DocumentNotFound
@@ -77,6 +88,29 @@ Observer = Callable[[ChangeKind, Any, Document | None], None]
 
 _DOC_PREFIX = b"doc:"
 _STUB_PREFIX = b"stub:"
+_SEQ_PREFIX = b"seq:"
+
+# Journal entries are (seq, unid, is_stub, local_time) tuples, appended in
+# seq order. Local times are taken from the (monotonic) clock at write
+# time, so the list is sorted by seq AND by time — both cutoff styles are
+# a binary search for the suffix start.
+_JournalEntry = tuple[int, str, bool, float]
+
+# Compact the journal when more than half of it (and at least this many
+# entries) is superseded; rewrites are amortized O(1) per write.
+_JOURNAL_COMPACT_MIN = 64
+
+
+@lru_cache(maxsize=8192)
+def _revision_contrib(unid: str, seq: int, seq_time: tuple) -> int:
+    """Fingerprint contribution of one note revision.
+
+    Memoized because the same revision is hashed on every replica that
+    installs it (cluster pushes, hub fan-out) and again when a later write
+    XORs it back out of the rolling accumulator.
+    """
+    digest = hashlib.sha256(f"{unid}:{seq}:{seq_time}\n".encode()).digest()
+    return int.from_bytes(digest, "big")
 
 
 class NotesDatabase:
@@ -135,8 +169,24 @@ class NotesDatabase:
         self._by_note_id: dict[int, str] = {}
         self._next_note_id = 1
         self._observers: list[Observer] = []
+        # -- update-sequence journal (the by-seq index) --
+        self._update_seq = 0
+        self._journal: list[_JournalEntry] = []
+        self._note_seq: dict[str, int] = {}  # unid -> its live journal seq
+        self._journal_stale = 0
+        # Notes the last changed_since* call had to look at (candidates,
+        # including superseded journal entries) — the replicator reports it.
+        self.last_scan_cost = 0
+        # -- maintained secondary indexes --
+        self._children_index: dict[str, set[str]] = {}
+        self._profiles: dict[tuple[Any, Any], str] = {}
+        # Rolling state fingerprint: XOR of per-note digests, O(1) per write.
+        self._fp_acc = 0
         # replication history: (other replica server, direction) -> virtual time
         self.replication_history: dict[tuple[str, str], float] = {}
+        # journal-based history: (other replica server, direction) -> the
+        # partner's update_seq as of the last successful pass
+        self.replication_seq: dict[tuple[str, str], int] = {}
         if engine is not None:
             self._load_from_engine()
 
@@ -152,6 +202,122 @@ class NotesDatabase:
     def _notify(self, kind: ChangeKind, payload: Any, old: Document | None) -> None:
         for observer in self._observers:
             observer(kind, payload, old)
+
+    # -- update-sequence journal -------------------------------------------
+
+    @property
+    def update_seq(self) -> int:
+        """The highest local update sequence number assigned so far."""
+        return self._update_seq
+
+    def _journal_record(self, unid: str, is_stub: bool, when: float) -> _JournalEntry:
+        """Assign the next seq to ``unid`` and append its journal entry."""
+        if unid in self._note_seq:
+            self._journal_stale += 1
+        self._update_seq += 1
+        entry = (self._update_seq, unid, is_stub, when)
+        self._journal.append(entry)
+        self._note_seq[unid] = self._update_seq
+        if (
+            self._journal_stale > _JOURNAL_COMPACT_MIN
+            and self._journal_stale * 2 > len(self._journal)
+        ):
+            self._compact_journal()
+        return entry
+
+    def _journal_drop(self, unid: str) -> None:
+        """Forget ``unid``'s journal entry (purge / cutoff-delete paths)."""
+        if self._note_seq.pop(unid, None) is not None:
+            self._journal_stale += 1
+        self._unpersist(_SEQ_PREFIX + unid.encode())
+
+    def _compact_journal(self) -> None:
+        self._journal = [
+            entry
+            for entry in self._journal
+            if self._note_seq.get(entry[1]) == entry[0]
+        ]
+        self._journal_stale = 0
+
+    def _changed_from(self, start: int) -> tuple[list[Document], list[DeletionStub]]:
+        """Live docs/stubs for the journal suffix beginning at ``start``."""
+        docs: list[Document] = []
+        stubs: list[DeletionStub] = []
+        suffix = self._journal[start:]
+        self.last_scan_cost = len(suffix)
+        for seq, unid, is_stub, _ in suffix:
+            if self._note_seq.get(unid) != seq:
+                continue  # superseded by a later write to the same note
+            if is_stub:
+                stub = self._stubs.get(unid)
+                if stub is not None:
+                    stubs.append(stub)
+            else:
+                doc = self._docs.get(unid)
+                if doc is not None:
+                    docs.append(doc)
+        return docs, stubs
+
+    # -- maintained secondary indexes --------------------------------------
+
+    def _index_parent(self, doc: Document) -> None:
+        if doc.parent_unid is not None:
+            self._children_index.setdefault(doc.parent_unid, set()).add(doc.unid)
+
+    def _unindex_parent(self, doc: Document) -> None:
+        if doc.parent_unid is None:
+            return
+        children = self._children_index.get(doc.parent_unid)
+        if children is not None:
+            children.discard(doc.unid)
+            if not children:
+                del self._children_index[doc.parent_unid]
+
+    @staticmethod
+    def _profile_key(doc: Document) -> tuple[Any, Any] | None:
+        name = doc.get("$ProfileName")
+        if not isinstance(name, str):
+            return None
+        user = doc.get("$ProfileUser", "")
+        return (name, user if isinstance(user, str) else "")
+
+    def _index_profile(self, doc: Document) -> None:
+        key = self._profile_key(doc)
+        # First writer wins, matching the old scan's insertion-order hit.
+        if key is not None and key not in self._profiles:
+            self._profiles[key] = doc.unid
+
+    def _unindex_profile(self, doc: Document) -> None:
+        key = self._profile_key(doc)
+        if key is None or self._profiles.get(key) != doc.unid:
+            return
+        del self._profiles[key]
+        # A duplicate profile note (replication can produce one) takes over.
+        for other in self._docs.values():
+            if other.unid != doc.unid and self._profile_key(other) == key:
+                self._profiles[key] = other.unid
+                return
+
+    # -- rolling state fingerprint -----------------------------------------
+
+    @staticmethod
+    def _doc_contrib(doc: Document) -> int:
+        return _revision_contrib(doc.unid, doc.seq, doc.seq_time)
+
+    @staticmethod
+    def _trash_contrib(unid: str) -> int:
+        digest = hashlib.sha256(b"T:" + unid.encode()).digest()
+        return int.from_bytes(digest, "big")
+
+    def _trash_add(self, unid: str) -> None:
+        if unid not in self._trash:
+            self._trash.add(unid)
+            self._fp_acc ^= self._trash_contrib(unid)
+
+    def _trash_discard(self, unid: str) -> None:
+        if unid in self._trash:
+            self._trash.remove(unid)
+            self._fp_acc ^= self._trash_contrib(unid)
 
     # -- CRUD ------------------------------------------------------------
 
@@ -182,7 +348,11 @@ class NotesDatabase:
         self._docs[doc.unid] = doc
         self._local_modified[doc.unid] = now
         self._by_note_id[doc.note_id] = doc.unid
-        self._persist_doc(doc)
+        self._index_parent(doc)
+        self._index_profile(doc)
+        self._fp_acc ^= self._doc_contrib(doc)
+        entry = self._journal_record(doc.unid, False, now)
+        self._persist_doc(doc, entry)
         self._notify(ChangeKind.CREATE, doc, None)
         return doc
 
@@ -197,6 +367,8 @@ class NotesDatabase:
         doc = self._require_doc(unid)
         self._check_update(author, doc)
         old = doc.copy()
+        self._fp_acc ^= self._doc_contrib(doc)
+        old_profile_key = self._profile_key(doc)
         doc.set_all(items)
         for name in remove_items or []:
             if name in doc:
@@ -208,7 +380,12 @@ class NotesDatabase:
         for name in remove_items or []:
             doc.item_times[name] = stamp
         self._local_modified[unid] = stamp[0]
-        self._persist_doc(doc)
+        if self._profile_key(doc) != old_profile_key:
+            self._unindex_profile(old)
+            self._index_profile(doc)
+        self._fp_acc ^= self._doc_contrib(doc)
+        entry = self._journal_record(unid, False, stamp[0])
+        self._persist_doc(doc, entry)
         self._notify(ChangeKind.UPDATE, doc, old)
         return doc
 
@@ -230,12 +407,15 @@ class NotesDatabase:
         doc = self._require_doc(unid)
         self._check_update(author, doc)
         old = doc.copy()
+        self._fp_acc ^= self._doc_contrib(doc)
         attach(doc, filename, data)
         stamp = self.clock.timestamp()
         doc.bump_revision(stamp, author)
         doc.item_times[ATTACHMENT_PREFIX + filename] = stamp
         self._local_modified[unid] = stamp[0]
-        self._persist_doc(doc)
+        self._fp_acc ^= self._doc_contrib(doc)
+        entry = self._journal_record(unid, False, stamp[0])
+        self._persist_doc(doc, entry)
         self._notify(ChangeKind.UPDATE, doc, old)
         return doc
 
@@ -254,7 +434,8 @@ class NotesDatabase:
         self._remove_doc_internal(unid)
         self._stubs[unid] = stub
         self._stub_local[unid] = now
-        self._persist_stub(stub)
+        entry = self._journal_record(unid, True, now)
+        self._persist_stub(stub, entry)
         self._notify(ChangeKind.DELETE, stub, doc)
         return stub
 
@@ -264,7 +445,7 @@ class NotesDatabase:
         """Move a document to the trash; views stop showing it."""
         doc = self._require_doc(unid)
         self._check_delete(author, doc)
-        self._trash.add(unid)
+        self._trash_add(unid)
         self._notify(ChangeKind.DELETE, self._as_trash_stub(doc, author), doc)
 
     def restore(self, unid: str, author: str = "anonymous") -> Document:
@@ -273,7 +454,7 @@ class NotesDatabase:
             raise DatabaseError(f"{unid} is not in the trash")
         doc = self._docs[unid]
         self._check_update(author, doc)
-        self._trash.discard(unid)
+        self._trash_discard(unid)
         self._notify(ChangeKind.RESTORE, doc, None)
         return doc
 
@@ -281,7 +462,7 @@ class NotesDatabase:
         """Hard-delete everything in the trash; returns the count."""
         victims = list(self._trash)
         for unid in victims:
-            self._trash.discard(unid)
+            self._trash_discard(unid)
             self.delete(unid, author=author)
         return len(victims)
 
@@ -334,11 +515,15 @@ class NotesDatabase:
                 yield doc
 
     def responses(self, unid: str) -> list[Document]:
-        """Direct response documents of ``unid``, oldest first."""
+        """Direct response documents of ``unid``, oldest first.
+
+        Served from the maintained parent→children index — O(children),
+        not a scan over the whole database.
+        """
         children = [
-            doc
-            for doc in self.all_documents()
-            if doc.parent_unid == unid
+            self._docs[child]
+            for child in self._children_index.get(unid, ())
+            if child in self._docs and child not in self._trash
         ]
         children.sort(key=lambda d: (d.created, d.unid))
         return children
@@ -354,13 +539,13 @@ class NotesDatabase:
     # -- profile documents ---------------------------------------------------
 
     def profile(self, name: str, username: str = "") -> Document:
-        """Get or create the profile document ``name`` (optionally per-user)."""
-        for doc in self._docs.values():
-            if (
-                doc.get("$ProfileName") == name
-                and doc.get("$ProfileUser", "") == username
-            ):
-                return doc
+        """Get or create the profile document ``name`` (optionally per-user).
+
+        Served from the maintained profile lookup table — no scan.
+        """
+        unid = self._profiles.get((name, username))
+        if unid is not None and unid in self._docs:
+            return self._docs[unid]
         return self.create(
             {"$ProfileName": name, "$ProfileUser": username},
             author=username or "system",
@@ -388,6 +573,7 @@ class NotesDatabase:
         for unid in victims:
             del self._stubs[unid]
             self._stub_local.pop(unid, None)
+            self._journal_drop(unid)
             self._unpersist(_STUB_PREFIX + unid.encode())
         return len(victims)
 
@@ -415,31 +601,49 @@ class NotesDatabase:
         return len(victims)
 
     def state_fingerprint(self) -> str:
-        """Hash over every live document's revision stamp (and the trash).
+        """Digest over every live document's revision stamp (and the trash).
 
         Two database states with equal fingerprints hold identical document
         revisions, so a derived structure (e.g. a persisted view index)
         saved at one fingerprint is valid whenever the fingerprint still
-        matches. Computing it is O(n) but needs no formula evaluation —
-        far cheaper than rebuilding the derived structure.
+        matches. The digest is a rolling XOR of per-note hashes maintained
+        on every write, so reading it is O(1) — the old implementation
+        re-sorted and re-hashed all n documents on every call.
         """
-        import hashlib
+        return f"{self._fp_acc:064x}"
 
-        digest = hashlib.sha256()
-        for unid in sorted(self._docs):
-            doc = self._docs[unid]
-            digest.update(
-                f"{unid}:{doc.seq}:{doc.seq_time}\n".encode()
-            )
-        digest.update(("T:" + ",".join(sorted(self._trash))).encode())
-        return digest.hexdigest()
+    def _fingerprint_recompute(self) -> str:
+        """O(n) from-scratch fingerprint; must equal :meth:`state_fingerprint`.
+
+        Kept as the ground truth the incremental accumulator is tested
+        against (and used when loading from a storage engine).
+        """
+        acc = 0
+        for doc in self._docs.values():
+            acc ^= self._doc_contrib(doc)
+        for unid in self._trash:
+            acc ^= self._trash_contrib(unid)
+        return f"{acc:064x}"
 
     def clear_replication_history(self) -> None:
         """Forget all replication history: the next pass with every partner
         re-examines everything (the admin "Clear History" button)."""
         self.replication_history.clear()
+        self.replication_seq.clear()
 
     # -- replication-facing primitives ----------------------------------
+
+    def changed_since_seq(
+        self, after_seq: int
+    ) -> tuple[list[Document], list[DeletionStub]]:
+        """Documents/stubs with a local update seq strictly above ``after_seq``.
+
+        The journal fast path: a binary search for the suffix start plus a
+        walk over O(changes) entries — never a scan of the database. This
+        is what an incremental replication pass costs.
+        """
+        start = bisect_right(self._journal, after_seq, key=lambda entry: entry[0])
+        return self._changed_from(start)
 
     def changed_since(self, cutoff: float) -> tuple[list[Document], list[DeletionStub]]:
         """Documents/stubs changed *in this replica* at/after ``cutoff``.
@@ -448,7 +652,20 @@ class NotesDatabase:
         by the replicator counts as changed *now*, even though its own
         modified time is older — that is what makes multi-hop (hub) routing
         of updates work.
+
+        Journal entries are appended in clock order, so the timestamp
+        cutoff (kept for pre-journal replication histories) is also a
+        suffix read, not a scan.
         """
+        start = bisect_left(self._journal, cutoff, key=lambda entry: entry[3])
+        return self._changed_from(start)
+
+    def changed_since_scan(
+        self, cutoff: float
+    ) -> tuple[list[Document], list[DeletionStub]]:
+        """The pre-journal O(database) scan, kept as the ablation baseline
+        benchmark E13 measures the journal against."""
+        self.last_scan_cost = len(self._docs) + len(self._stubs)
         docs = [
             doc
             for doc in self._docs.values()
@@ -472,16 +689,24 @@ class NotesDatabase:
         # local id on update, assign a fresh one on first arrival.
         if old is not None:
             doc.note_id = old.note_id
+            self._fp_acc ^= self._doc_contrib(old)
+            self._unindex_parent(old)
+            self._unindex_profile(old)
         else:
             doc.note_id = self._next_note_id
             self._next_note_id += 1
         self._docs[doc.unid] = doc
         self._by_note_id[doc.note_id] = doc.unid
-        self._local_modified[doc.unid] = self.clock.now
+        now = self.clock.now
+        self._local_modified[doc.unid] = now
         self._stubs.pop(doc.unid, None)
         self._stub_local.pop(doc.unid, None)
         self._unpersist(_STUB_PREFIX + doc.unid.encode())
-        self._persist_doc(doc)
+        self._index_parent(doc)
+        self._index_profile(doc)
+        self._fp_acc ^= self._doc_contrib(doc)
+        entry = self._journal_record(doc.unid, False, now)
+        self._persist_doc(doc, entry)
         self._notify(kind, doc, old)
 
     def raw_delete(self, stub: DeletionStub) -> None:
@@ -492,8 +717,10 @@ class NotesDatabase:
         existing = self._stubs.get(stub.unid)
         if existing is None or tuple(stub.seq_time) > tuple(existing.seq_time):
             self._stubs[stub.unid] = stub
-            self._stub_local[stub.unid] = self.clock.now
-            self._persist_stub(stub)
+            now = self.clock.now
+            self._stub_local[stub.unid] = now
+            entry = self._journal_record(stub.unid, True, now)
+            self._persist_stub(stub, entry)
         if old is not None:
             self._notify(ChangeKind.DELETE, stub, old)
 
@@ -512,17 +739,33 @@ class NotesDatabase:
 
     # -- persistence ------------------------------------------------------
 
-    def _persist_doc(self, doc: Document) -> None:
+    def _persist_doc(self, doc: Document, journal: _JournalEntry | None = None) -> None:
         if self.engine is None:
             return
         payload = json.dumps(doc.to_dict()).encode()
-        self.engine.set(_DOC_PREFIX + doc.unid.encode(), payload)
+        self._persist_note(_DOC_PREFIX + doc.unid.encode(), payload, journal)
 
-    def _persist_stub(self, stub: DeletionStub) -> None:
+    def _persist_stub(self, stub: DeletionStub, journal: _JournalEntry | None = None) -> None:
         if self.engine is None:
             return
         payload = json.dumps(stub.to_dict()).encode()
-        self.engine.set(_STUB_PREFIX + stub.unid.encode(), payload)
+        self._persist_note(_STUB_PREFIX + stub.unid.encode(), payload, journal)
+
+    def _persist_note(
+        self, key: bytes, payload: bytes, journal: _JournalEntry | None
+    ) -> None:
+        """One transaction covering the note and its journal record, so a
+        crash can never durably separate a note from its sequence number."""
+        txn = self.engine.begin()
+        self.engine.put(txn, key, payload)
+        if journal is not None:
+            seq, unid, is_stub, when = journal
+            self.engine.put(
+                txn,
+                _SEQ_PREFIX + unid.encode(),
+                json.dumps([seq, 1 if is_stub else 0, when]).encode(),
+            )
+        self.engine.commit(txn)
 
     def _unpersist(self, key: bytes) -> None:
         if self.engine is None:
@@ -532,6 +775,7 @@ class NotesDatabase:
 
     def _load_from_engine(self) -> None:
         max_note_id = 0
+        seq_records: dict[str, list] = {}
         for key in self.engine.keys():
             payload = json.loads(self.engine.get(key).decode())
             if key.startswith(_DOC_PREFIX):
@@ -543,7 +787,62 @@ class NotesDatabase:
             elif key.startswith(_STUB_PREFIX):
                 stub = DeletionStub.from_dict(payload)
                 self._stubs[stub.unid] = stub
+            elif key.startswith(_SEQ_PREFIX):
+                seq_records[key[len(_SEQ_PREFIX):].decode()] = payload
         self._next_note_id += max_note_id
+        for doc in self._docs.values():
+            self._index_parent(doc)
+            self._index_profile(doc)
+        self._fp_acc = int(self._fingerprint_recompute(), 16)
+        self._recover_journal(seq_records)
+
+    def _recover_journal(self, seq_records: dict[str, list]) -> None:
+        """Rebuild the by-seq journal after an engine load.
+
+        When every live note carries a persisted sequence record the
+        journal is restored exactly (sequence numbers keep their meaning
+        across restarts, so partners' seq-based histories stay valid).
+        A pre-journal database file falls back to seeding fresh sequence
+        numbers in modified-time order; partners then re-examine via the
+        timestamp history, exactly as before the journal existed.
+        """
+        live_kinds = {unid: False for unid in self._docs}
+        live_kinds.update({unid: True for unid in self._stubs})
+        recovered = all(
+            unid in seq_records and bool(seq_records[unid][1]) == is_stub
+            for unid, is_stub in live_kinds.items()
+        )
+        if recovered and live_kinds:
+            entries = sorted(
+                (seq_records[unid][0], unid, is_stub, seq_records[unid][2])
+                for unid, is_stub in live_kinds.items()
+            )
+            self._journal = entries
+            self._note_seq = {entry[1]: entry[0] for entry in entries}
+            self._update_seq = entries[-1][0]
+            for seq, unid, is_stub, when in entries:
+                if is_stub:
+                    self._stub_local[unid] = when
+                else:
+                    self._local_modified[unid] = when
+            return
+        # Fallback: order by the notes' own times (the pre-journal
+        # incremental-scan keys) and assign fresh sequence numbers.
+        pending = sorted(
+            [(doc.modified, unid, False) for unid, doc in self._docs.items()]
+            + [
+                (stub.deleted_at, unid, True)
+                for unid, stub in self._stubs.items()
+            ]
+        )
+        for when, unid, is_stub in pending:
+            entry = self._journal_record(unid, is_stub, when)
+            if self.engine is not None:
+                seq, _, _, _ = entry
+                self.engine.set(
+                    _SEQ_PREFIX + unid.encode(),
+                    json.dumps([seq, 1 if is_stub else 0, when]).encode(),
+                )
 
     # -- access control hooks -----------------------------------------------
 
@@ -579,8 +878,12 @@ class NotesDatabase:
     def _remove_doc_internal(self, unid: str) -> None:
         doc = self._docs.pop(unid)
         self._by_note_id.pop(doc.note_id, None)
-        self._trash.discard(unid)
+        self._trash_discard(unid)
         self._local_modified.pop(unid, None)
+        self._fp_acc ^= self._doc_contrib(doc)
+        self._unindex_parent(doc)
+        self._unindex_profile(doc)
+        self._journal_drop(unid)
         self._unpersist(_DOC_PREFIX + unid.encode())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -10,6 +10,7 @@ on truth values and yield ``[1]``/``[0]``.
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Any
 
 from repro.errors import FormulaEvalError
@@ -286,6 +287,14 @@ def _mentions_hierarchy(node) -> bool:
     return False
 
 
+@lru_cache(maxsize=512)
 def compile_formula(source: str) -> Formula:
-    """Compile formula source text; raises FormulaSyntaxError on bad input."""
+    """Compile formula source text; raises FormulaSyntaxError on bad input.
+
+    Compilation is memoized: views, agents, and selective replication
+    frequently share a selection source, and a compiled ``Formula`` is
+    immutable (all run state lives in the per-evaluation ``EvalContext``),
+    so one instance can serve every caller. Syntax errors are not cached —
+    ``lru_cache`` only stores successful results.
+    """
     return Formula(source)

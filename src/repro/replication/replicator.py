@@ -38,6 +38,10 @@ class ReplicationStats:
     """Outcome of one replication pass (or an accumulation of passes)."""
 
     docs_examined: int = 0
+    # Journal/scan entries the source had to look at to find the
+    # candidates: O(changes) with the update-sequence journal, O(database)
+    # for the pre-journal scan baseline.
+    docs_scanned: int = 0
     docs_transferred: int = 0
     docs_skipped: int = 0
     stubs_transferred: int = 0
@@ -50,6 +54,7 @@ class ReplicationStats:
 
     def merge_from(self, other: "ReplicationStats") -> None:
         self.docs_examined += other.docs_examined
+        self.docs_scanned += other.docs_scanned
         self.docs_transferred += other.docs_transferred
         self.docs_skipped += other.docs_skipped
         self.stubs_transferred += other.stubs_transferred
@@ -84,6 +89,14 @@ class Replicator:
         (plus the envelope) instead of the whole note — the R5 field-level
         replication optimisation. Semantically identical; only the wire
         accounting and the reconstruction path differ.
+    journal:
+        When True (default), passes read the source's update-sequence
+        journal: the history records the partner's last-seen sequence and
+        a pass walks only the journal suffix — O(changes). A history with
+        no sequence entry (pre-journal, or after ``clear_replication_
+        history``) falls back to the timestamp cutoff. When False, every
+        pass uses the pre-journal O(database) scan — the ablation baseline
+        benchmark E13 measures against.
     """
 
     def __init__(
@@ -92,6 +105,7 @@ class Replicator:
         conflict_policy: ConflictPolicy = ConflictPolicy.CONFLICT_DOC,
         versioning: str = "oid",
         field_level: bool = False,
+        journal: bool = True,
     ) -> None:
         if versioning not in ("oid", "timestamp"):
             raise ReplicationError(f"unknown versioning {versioning!r}")
@@ -99,6 +113,7 @@ class Replicator:
         self.conflict_policy = conflict_policy
         self.versioning = versioning
         self.field_level = field_level
+        self.journal = journal
 
     # -- public passes -----------------------------------------------------
 
@@ -111,11 +126,28 @@ class Replicator:
         """One incremental pass: bring ``target`` up to date from ``source``."""
         self._check_pair(source, target)
         stats = ReplicationStats()
-        cutoff = (
-            target.replication_history.get((source.server, "receive"), 0.0)
-            - CUTOFF_SLACK
+        # Capture the source's sequence BEFORE applying anything: observers
+        # of the target (cluster push-back, agents) may write into the
+        # source mid-pass, and those writes must be re-examined next time
+        # — the seq-domain analogue of CUTOFF_SLACK.
+        source_seq = source.update_seq
+        seq_cutoff = (
+            target.replication_seq.get((source.server, "receive"))
+            if self.journal
+            else None
         )
-        docs, stubs = source.changed_since(cutoff)
+        if seq_cutoff is not None:
+            docs, stubs = source.changed_since_seq(seq_cutoff)
+        else:
+            cutoff = (
+                target.replication_history.get((source.server, "receive"), 0.0)
+                - CUTOFF_SLACK
+            )
+            if self.journal:
+                docs, stubs = source.changed_since(cutoff)
+            else:
+                docs, stubs = source.changed_since_scan(cutoff)
+        stats.docs_scanned = source.last_scan_cost
         for doc in sorted(docs, key=lambda d: (d.modified, d.unid)):
             self._consider_document(target, source, doc, selective, stats)
         for stub in sorted(stubs, key=lambda s: (s.deleted_at, s.unid)):
@@ -126,6 +158,9 @@ class Replicator:
         now = source.clock.now
         target.replication_history[(source.server, "receive")] = now
         source.replication_history[(target.server, "send")] = now
+        if self.journal:
+            target.replication_seq[(source.server, "receive")] = source_seq
+            source.replication_seq[(target.server, "send")] = source_seq
         return stats
 
     def replicate(
@@ -150,13 +185,17 @@ class Replicator:
         """Baseline: transfer *every* document regardless of history."""
         self._check_pair(source, target)
         stats = ReplicationStats()
+        source_seq = source.update_seq
         for doc in source.all_documents():
             stats.docs_examined += 1
+            stats.docs_scanned += 1
             self._transfer(source, target, doc, stats)
             self._install(target, doc, stats)
         for stub in source.stubs.values():
             self._consider_stub(target, stub, stats)
         target.replication_history[(source.server, "receive")] = source.clock.now
+        if self.journal:
+            target.replication_seq[(source.server, "receive")] = source_seq
         return stats
 
     # -- document path ------------------------------------------------------

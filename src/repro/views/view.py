@@ -104,6 +104,9 @@ class View:
         self._tree: BPlusTree = BPlusTree(order=64)
         self._keys: dict[str, tuple] = {}
         self._children: dict[str, set[str]] = {}
+        # Reverse of _children: child unid -> parent unid, so _remove can
+        # discard its membership in O(1) instead of sweeping every set.
+        self._parent_of: dict[str, str] = {}
         self.rebuilds = 0
         self.incremental_ops = 0
         self.pending_changes = 0
@@ -225,6 +228,11 @@ class View:
             parent: set(children)
             for parent, children in snapshot.get("children", {}).items()
         }
+        self._parent_of = {
+            child: parent
+            for parent, children in self._children.items()
+            for child in children
+        }
         self.loaded_from_disk = True
         return True
 
@@ -239,6 +247,7 @@ class View:
         self._tree = BPlusTree(order=64)
         self._keys.clear()
         self._children.clear()
+        self._parent_of.clear()
         docs = [doc for doc in self.db.all_documents() if self._selected(doc)]
         if self.hierarchical:
             docs.sort(key=self._hierarchy_depth)
@@ -251,6 +260,7 @@ class View:
             self._keys[doc.unid] = key
             if doc.parent_unid is not None:
                 self._children.setdefault(doc.parent_unid, set()).add(doc.unid)
+                self._parent_of[doc.unid] = doc.parent_unid
             pairs.append((key, _Entry(doc.unid, values, level)))
         pairs.sort(key=lambda pair: pair[0])
         self._tree.bulk_load(pairs)
@@ -358,6 +368,7 @@ class View:
         self._keys[doc.unid] = key
         if doc.parent_unid is not None:
             self._children.setdefault(doc.parent_unid, set()).add(doc.unid)
+            self._parent_of[doc.unid] = doc.parent_unid
 
     def _remove(self, unid: str) -> None:
         key = self._keys.pop(unid, None)
@@ -367,8 +378,13 @@ class View:
             self._tree.delete(key)
         except KeyError:  # pragma: no cover - defensive
             pass
-        for children in self._children.values():
-            children.discard(unid)
+        parent = self._parent_of.pop(unid, None)
+        if parent is not None:
+            siblings = self._children.get(parent)
+            if siblings is not None:
+                siblings.discard(unid)
+                if not siblings:
+                    del self._children[parent]
 
     def _rekey_descendants(self, unid: str) -> None:
         """Re-insert (or re-evaluate) responses after their ancestor moved."""
