@@ -11,8 +11,15 @@ sweeps. Run with::
 
 from __future__ import annotations
 
-from repro.bench.runners import build_changefeed_db, build_deployment, populate
+from repro.bench.runners import (
+    build_catchup_corpus,
+    build_changefeed_db,
+    build_deployment,
+    catchup_view,
+    populate,
+)
 from repro.cluster import ClusterReplicator
+from repro.fulltext import FullTextIndex
 from repro.replication import Replicator, converged
 
 
@@ -78,3 +85,35 @@ def test_smoke_cluster_backlog_drains():
     cluster.catch_up()
     assert len(c) == 6
     assert cluster.backlog_size == 0
+    # The drain came from the update journal, not a queued-event table.
+    assert cluster.stats.replayed >= 5
+
+
+def test_smoke_catchup_rides_the_delta(tmp_path):
+    """E14 shape: every seq-checkpointed consumer tops up from the journal."""
+    engine, db = build_catchup_corpus(str(tmp_path / "smoke"), 300, 10)
+    try:
+        view = catchup_view(db, mode="manual", persist=False)
+        baseline = catchup_view(
+            db, mode="manual", persist=False, journal=False
+        )
+        db.clock.advance(1)
+        for unid in db.rng.sample(db.unids(), 10):
+            db.update(unid, {"Subject": "smoke edit"})
+        assert view.refresh() == "topup"
+        assert view.rebuilds == 1  # the constructor's, none since
+        assert baseline.refresh() == "rebuild"
+        assert view.all_unids() == baseline.all_unids()
+
+        warm = FullTextIndex(db, persist=True)
+        assert warm.loaded_from_disk
+        assert warm.catch_up.last_path == "topup"
+        # Both deltas (the corpus's 10 and ours) replay; the 300-doc
+        # base segment does not.
+        assert warm.catch_up.notes_replayed <= 20
+        assert len(warm.search("smoke")) == 10
+        warm.close()
+        view.close()
+        baseline.close()
+    finally:
+        engine.close()

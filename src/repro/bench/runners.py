@@ -110,3 +110,70 @@ def build_changefeed_db(
         db.update(unid, {"Status": f"edited {rng.random():.4f}"})
     clock.advance(1)
     return db, mark_seq, mark_time
+
+
+def catchup_view(db, journal: bool = True, mode: str = "auto",
+                 persist: bool = True):
+    """The standard E14 view over a catch-up corpus.
+
+    One definition shared by the save and reopen sides so the design
+    fingerprint matches and a saved sidecar is eligible for loading.
+    """
+    from repro.views import SortOrder, View, ViewColumn
+
+    return View(
+        db, "E14",
+        selection='SELECT Form = "Memo"',
+        columns=[
+            ViewColumn(title="Categories", item="Categories",
+                       categorized=True),
+            ViewColumn(title="Subject", item="Subject",
+                       sort=SortOrder.ASCENDING),
+            ViewColumn(title="Amount", item="Amount"),
+        ],
+        mode=mode, persist=persist, journal=journal,
+    )
+
+
+def build_catchup_corpus(
+    path: str,
+    n_docs: int,
+    n_changes: int,
+    seed: int = 21,
+    body_bytes: int = 120,
+):
+    """The E14 scenario: a persisted database with saved view + full-text
+    checkpoints, reopened and then moved ``n_changes`` past them.
+
+    Builds ``n_docs`` documents through a storage engine at ``path``,
+    saves a persisted view sidecar (:func:`catchup_view`) and a full-text
+    checkpoint, closes everything, reopens the file, and applies
+    ``n_changes`` random updates. Returns ``(engine, db)`` — every
+    checkpoint on disk now trails the live state by exactly the delta,
+    which is what the seq catch-up paths are measured against.
+    """
+    from repro.fulltext import FullTextIndex
+    from repro.storage import StorageEngine
+
+    rng = random.Random(seed)
+    engine = StorageEngine(path)
+    db = NotesDatabase(
+        "catchup.nsf", clock=VirtualClock(),
+        rng=random.Random(rng.getrandbits(64)), server="hub", engine=engine,
+    )
+    populate(db, n_docs, rng, body_bytes=body_bytes, advance=0.0)
+    view = catchup_view(db)
+    view.close()  # saves the sidecar
+    index = FullTextIndex(db, persist=True)
+    index.close()  # saves the checkpoint
+    engine.close()
+
+    engine = StorageEngine(path)
+    db = NotesDatabase(
+        "catchup.nsf", clock=VirtualClock(),
+        rng=random.Random(rng.getrandbits(64)), server="hub", engine=engine,
+    )
+    db.clock.advance(1)
+    for unid in rng.sample(db.unids(), n_changes):
+        db.update(unid, {"Subject": f"edited {rng.random():.4f}"})
+    return engine, db

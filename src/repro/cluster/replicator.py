@@ -3,19 +3,30 @@
 Subscribes to every member replica; each local change is pushed at once to
 the other members (with the same originator-id comparison the scheduled
 replicator uses, so echoes and races resolve identically). Pushes to an
-unreachable member queue in a backlog that drains when the member returns —
-``catch_up`` is the cluster-join/restart path.
+unreachable member stall that link; ``catch_up`` is the cluster-join/
+restart path that drains stalled links.
 
-The backlog rides on the database's update-sequence journal: entries are
-keyed per (link, UNID) and carry the origin's update seq at queue time, so
-repeated edits to one document during an outage collapse to a single queued
-entry (the drain ships the *current* revision anyway) and the backlog stays
-bounded by the number of distinct changed notes, not the number of changes.
+The backlog *is* the database's update-sequence journal: a stalled link
+keeps only the origin seq it last drained, and ``catch_up`` replays
+``changed_since_seq`` past that cursor — O(1) state per link however many
+changes pile up during the outage, with a drain bounded by the number of
+distinct changed notes. The only per-note bookkeeping left is a small
+side-table of *un-journaled* events (soft deletes, restores, cutoff
+purges — none of which write journal entries) so a drain reproduces them
+too.
+
+Successful pushes acknowledge the origin's ``update_seq`` into
+``replication_seq[(target, "send")]`` — the same ledger scheduled
+replication uses — which is what makes seq-acknowledged stub purging safe
+inside a cluster: a stub may only be purged once every known partner's
+acknowledged seq has passed it, and a stalled link stops acknowledging
+until its drain completes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.database import ChangeKind, DeletionStub, NotesDatabase
 from repro.core.document import Document
@@ -30,8 +41,10 @@ class ClusterReplicationStats:
     pushes: int = 0
     queued: int = 0
     drained: int = 0
+    replayed: int = 0
     conflicts: int = 0
     bytes_pushed: int = 0
+    catch_up_seconds: float = 0.0
     push_latency: list[float] = field(default_factory=list)
 
 
@@ -47,21 +60,33 @@ class ClusterReplicator:
         self.conflict_policy = conflict_policy
         self.stats = ClusterReplicationStats()
         self._members: list[NotesDatabase] = []
-        # (source server, target server) -> {unid: (stub | None, origin seq)}
-        # One live entry per note per link; a later change to the same note
-        # supersedes the queued one (the current revision is shipped on
-        # drain, so nothing is lost by collapsing).
-        self._backlog: dict[tuple[str, str], dict] = {}
+        # (source server, target server) -> origin seq last known pushed.
+        # A link appears here only while stalled; catch_up replays the
+        # journal suffix past the cursor and removes it.
+        self._stalled: dict[tuple[str, str], int] = {}
+        # Events the journal cannot replay (soft deletes, restores and
+        # cutoff purges never journal): (link) -> {unid: stub | None}.
+        # None means "push the current document" (a restore).
+        self._pending: dict[tuple[str, str], dict[str, DeletionStub | None]] = {}
         self._pushing = False
 
     # -- membership -----------------------------------------------------
 
     def attach(self, db: NotesDatabase) -> None:
-        """Add a replica to the cluster-replication family."""
+        """Add a replica to the cluster-replication family.
+
+        Every member pair is registered in ``replication_seq`` at ack 0,
+        so seq-acknowledged stub purging knows the partner exists *before*
+        the first push — a stub can never be purged out from under a
+        cluster mate that has acknowledged nothing yet.
+        """
         if self._members and db.replica_id != self._members[0].replica_id:
             from repro.errors import ClusterError
 
             raise ClusterError("cluster replicas must share a replica id")
+        for member in self._members:
+            member.replication_seq.setdefault((db.server, "send"), 0)
+            db.replication_seq.setdefault((member.server, "send"), 0)
         self._members.append(db)
         db.subscribe(self._make_handler(db))
 
@@ -69,11 +94,18 @@ class ClusterReplicator:
         def handler(kind: ChangeKind, payload, old: Document | None) -> None:
             if self._pushing:
                 return  # change caused by a cluster push: do not echo
-            if kind in (ChangeKind.CREATE, ChangeKind.UPDATE, ChangeKind.REPLACE,
-                        ChangeKind.RESTORE):
-                self._push_all(origin, payload, None)
+            if kind in (ChangeKind.CREATE, ChangeKind.UPDATE,
+                        ChangeKind.REPLACE):
+                self._push_all(origin, payload, None, journaled=True)
+            elif kind == ChangeKind.RESTORE:
+                self._push_all(origin, payload, None, journaled=False)
             elif kind == ChangeKind.DELETE:
-                self._push_all(origin, None, payload)
+                # delete() journals a stub; soft deletes and cutoff purges
+                # synthesize one that the journal never sees.
+                self._push_all(
+                    origin, None, payload,
+                    journaled=payload.unid in origin.stubs,
+                )
 
         return handler
 
@@ -84,18 +116,40 @@ class ClusterReplicator:
         origin: NotesDatabase,
         doc: Document | None,
         stub: DeletionStub | None,
+        journaled: bool,
     ) -> None:
         for member in self._members:
             if member is origin:
                 continue
-            if not self.network.is_reachable(origin.server, member.server):
-                unid = doc.unid if doc is not None else stub.unid
-                self._backlog.setdefault(
-                    (origin.server, member.server), {}
-                )[unid] = (stub, origin.update_seq)
+            link = (origin.server, member.server)
+            if not self.network.is_reachable(*link):
+                # Stall the link at the seq *before* this change (the
+                # notify runs after the journal append, so update_seq is
+                # this change's seq). Un-journaled events leave the
+                # cursor at the current seq and ride the pending table.
+                self._stalled.setdefault(
+                    link,
+                    origin.update_seq - 1 if journaled else origin.update_seq,
+                )
+                if not journaled:
+                    unid = doc.unid if doc is not None else stub.unid
+                    self._pending.setdefault(link, {})[unid] = stub
                 self.stats.queued += 1
                 continue
+            if not journaled:
+                # A restore supersedes a pending soft-delete stub queued
+                # on this link (and vice versa — latest event wins).
+                unid = doc.unid if doc is not None else stub.unid
+                pending = self._pending.get(link)
+                if pending is not None:
+                    pending.pop(unid, None)
             self._push_one(origin, member, doc, stub)
+            if link not in self._stalled:
+                self._ack(origin, member)
+
+    def _ack(self, origin: NotesDatabase, target: NotesDatabase) -> None:
+        """Record that ``target`` holds everything up to origin's seq."""
+        origin.replication_seq[(target.server, "send")] = origin.update_seq
 
     def _push_one(
         self,
@@ -148,36 +202,51 @@ class ClusterReplicator:
     # -- catch-up after failure ------------------------------------------
 
     def catch_up(self) -> int:
-        """Drain every backlog whose link is reachable again.
+        """Drain every stalled link that is reachable again.
 
-        Returns the number of queued changes applied. Queued entries carry
-        only identities; the *current* revision is pushed (later edits
-        subsume earlier queued ones naturally).
+        Per link this is one ``changed_since_seq(cursor)`` call — a
+        binary search plus a walk over the notes actually changed during
+        the outage — followed by the (rare) un-journaled pending events.
+        The *current* revision is pushed, so repeated edits to one note
+        during the outage cost a single transfer. Returns the number of
+        changes applied; a completed drain acknowledges the origin's
+        seq so stub purging may proceed.
         """
+        started = perf_counter()
         drained = 0
-        for (src_name, dst_name), entries in list(self._backlog.items()):
-            if not self.network.is_reachable(src_name, dst_name):
+        for link, cursor in list(self._stalled.items()):
+            if not self.network.is_reachable(*link):
                 continue
-            source = self._member_on(src_name)
-            target = self._member_on(dst_name)
+            source = self._member_on(link[0])
+            target = self._member_on(link[1])
             if source is None or target is None:
                 continue
-            for unid, (stub, _queued_seq) in entries.items():
-                if stub is not None:
-                    current_stub = source.stubs.get(stub.unid, stub)
-                    self._push_one(source, target, None, current_stub)
-                else:
-                    doc = source.try_get(unid)
-                    if doc is None:
-                        # deleted since queueing: push the stub if present
-                        late_stub = source.stubs.get(unid)
-                        if late_stub is not None:
-                            self._push_one(source, target, None, late_stub)
-                    else:
-                        self._push_one(source, target, doc, None)
+            docs, stubs = source.changed_since_seq(cursor)
+            for stub in stubs:
+                self._push_one(source, target, None, stub)
                 drained += 1
-            del self._backlog[(src_name, dst_name)]
+            for doc in docs:
+                live = source.try_get(doc.unid)
+                if live is not None:
+                    self._push_one(source, target, live, None)
+                    drained += 1
+            # Un-journaled events last: a soft delete during the outage
+            # must override the journal-replayed revision it shadows.
+            for unid, stub in self._pending.pop(link, {}).items():
+                if stub is not None:
+                    self._push_one(
+                        source, target, None, source.stubs.get(unid, stub)
+                    )
+                else:
+                    live = source.try_get(unid)
+                    if live is not None:
+                        self._push_one(source, target, live, None)
+                drained += 1
+            del self._stalled[link]
+            self._ack(source, target)
         self.stats.drained += drained
+        self.stats.replayed += drained
+        self.stats.catch_up_seconds += perf_counter() - started
         return drained
 
     def _member_on(self, server: str) -> NotesDatabase | None:
@@ -188,4 +257,19 @@ class ClusterReplicator:
 
     @property
     def backlog_size(self) -> int:
-        return sum(len(entries) for entries in self._backlog.values())
+        """Distinct notes awaiting drain across all stalled links.
+
+        Computed from the journal (the suffix past each link's cursor)
+        plus the pending un-journaled events — the replicator itself no
+        longer stores per-note backlog state.
+        """
+        total = 0
+        for link, cursor in self._stalled.items():
+            source = self._member_on(link[0])
+            if source is None:
+                continue
+            docs, stubs = source.changed_since_seq(cursor)
+            total += len(docs) + len(stubs)
+        for pending in self._pending.values():
+            total += len(pending)
+        return total

@@ -89,6 +89,7 @@ Observer = Callable[[ChangeKind, Any, Document | None], None]
 _DOC_PREFIX = b"doc:"
 _STUB_PREFIX = b"stub:"
 _SEQ_PREFIX = b"seq:"
+_META_KEY = b"meta:journal"
 
 # Journal entries are (seq, unid, is_stub, local_time) tuples, appended in
 # seq order. Local times are taken from the (monotonic) clock at write
@@ -99,6 +100,10 @@ _JournalEntry = tuple[int, str, bool, float]
 # Compact the journal when more than half of it (and at least this many
 # entries) is superseded; rewrites are amortized O(1) per write.
 _JOURNAL_COMPACT_MIN = 64
+
+# The purge log (journal entries dropped without a successor) is bounded:
+# consumers whose checkpoint predates the retained window rebuild instead.
+_PURGE_LOG_MAX = 1024
 
 
 @lru_cache(maxsize=8192)
@@ -187,8 +192,20 @@ class NotesDatabase:
         # journal-based history: (other replica server, direction) -> the
         # partner's update_seq as of the last successful pass
         self.replication_seq: dict[tuple[str, str], int] = {}
+        # -- purge log: journal entries dropped with no successor --
+        self._purge_seq = 0
+        self._purges: list[tuple[int, str]] = []
+        # Journal identity: seq checkpoints (view sidecars, full-text
+        # checkpoints, backlog cursors) are only meaningful against the
+        # journal they were cut from. A reseeded journal (recovery of a
+        # pre-journal database file) gets a fresh identity, so stale
+        # checkpoints fall back to a rebuild instead of mis-reading seqs.
+        self.journal_id = hashlib.sha256(
+            f"journal:{self.replica_id}:{self.server}".encode()
+        ).hexdigest()[:16]
         if engine is not None:
             self._load_from_engine()
+            self._persist_meta()
 
     # -- observers -----------------------------------------------------------
 
@@ -257,6 +274,37 @@ class NotesDatabase:
                 if doc is not None:
                     docs.append(doc)
         return docs, stubs
+
+    # -- purge log ----------------------------------------------------------
+
+    @property
+    def purge_seq(self) -> int:
+        """How many journal entries have been dropped without a successor.
+
+        ``purge_stubs`` / ``purge_acknowledged_stubs`` and ``cutoff_delete``
+        remove notes *and their journal entries* outright, so a seq-suffix
+        read can never report them. Consumers that checkpoint an
+        ``update_seq`` must also checkpoint the ``purge_seq`` and replay
+        :meth:`purges_since` before topping up.
+        """
+        return self._purge_seq
+
+    def purges_since(self, after: int) -> list[tuple[int, str]] | None:
+        """Purge events with purge seq strictly above ``after``, oldest
+        first — or None when the bounded log no longer reaches back that
+        far (the consumer's checkpoint is too old; it must rebuild)."""
+        if after > self._purge_seq:
+            return None
+        oldest_missing = self._purge_seq - len(self._purges)
+        if after < oldest_missing:
+            return None
+        return [(seq, unid) for seq, unid in self._purges if seq > after]
+
+    def _log_purge(self, unid: str) -> None:
+        self._purge_seq += 1
+        self._purges.append((self._purge_seq, unid))
+        if len(self._purges) > _PURGE_LOG_MAX:
+            del self._purges[: -_PURGE_LOG_MAX]
 
     # -- maintained secondary indexes --------------------------------------
 
@@ -332,8 +380,14 @@ class NotesDatabase:
         if parent is not None and parent not in self._docs:
             raise DocumentNotFound(f"parent {parent} does not exist")
         now, tick = self.clock.timestamp()
+        # The rng is seeded by the title, so a reopened database replays
+        # the same unid stream — re-draw rather than silently overwrite a
+        # persisted note.
+        unid = new_unid(self.rng)
+        while unid in self._docs or unid in self._stubs:
+            unid = new_unid(self.rng)
         doc = Document(
-            unid=new_unid(self.rng),
+            unid=unid,
             seq=1,
             seq_time=(now, tick),
             created=now,
@@ -561,20 +615,80 @@ class NotesDatabase:
     def purge_stubs(self, older_than: float) -> int:
         """Drop stubs deleted before virtual time ``older_than``.
 
-        Returns how many were purged. Purging a stub before every replica
-        has seen the delete allows the document to "resurrect" — that is
-        precisely what experiment E2 demonstrates.
+        The legacy wall-clock purge-interval rule, kept as the ablation:
+        purging a stub before every replica has seen the delete allows the
+        document to "resurrect" — precisely what experiment E2
+        demonstrates. :meth:`purge_acknowledged_stubs` is the seq-safe
+        replacement. Returns how many were purged.
         """
         victims = [
             unid
             for unid, stub in self._stubs.items()
             if stub.deleted_at < older_than
         ]
+        return self._purge_stub_unids(victims)
+
+    def acknowledged_seq(self) -> int | None:
+        """Lowest update seq every *known* partner has acknowledged.
+
+        A partner acknowledges a seq when it completes a pass that read
+        this journal (recorded as a ``"send"`` entry in
+        ``replication_seq``: scheduled pulls and cluster pushes/drains
+        both record one). Returns None when no partner is known.
+        """
+        acks = [
+            seq
+            for (_, direction), seq in self.replication_seq.items()
+            if direction == "send"
+        ]
+        return min(acks) if acks else None
+
+    def purge_acknowledged_stubs(self) -> int:
+        """Purge every stub whose delete all known partners have seen.
+
+        The seq-based replacement for the wall-clock purge interval: a
+        stub is purgeable once its journal seq is at or below
+        :meth:`acknowledged_seq`, so no partner can still need the delete
+        — which closes the E2 resurrection-anomaly window entirely. A
+        replica with no known partners purges nothing (it cannot know who
+        still needs the stub). Returns how many were purged.
+        """
+        floor = self.acknowledged_seq()
+        if floor is None:
+            return 0
+        victims = [
+            unid
+            for unid in self._stubs
+            if self._note_seq.get(unid, floor + 1) <= floor
+        ]
+        return self._purge_stub_unids(victims)
+
+    def _purge_stub_unids(self, victims: list[str]) -> int:
+        """Drop ``victims`` from the stub table, journal and engine.
+
+        The engine write is one transaction covering the purge-log update
+        and every record removal, so recovery never sees a purged seq
+        record with an un-advanced purge log.
+        """
+        if not victims:
+            return 0
         for unid in victims:
             del self._stubs[unid]
             self._stub_local.pop(unid, None)
-            self._journal_drop(unid)
-            self._unpersist(_STUB_PREFIX + unid.encode())
+            if self._note_seq.pop(unid, None) is not None:
+                self._journal_stale += 1
+            self._log_purge(unid)
+        if self.engine is not None:
+            txn = self.engine.begin()
+            self.engine.put(txn, _META_KEY, self._meta_payload())
+            for unid in victims:
+                for key in (
+                    _SEQ_PREFIX + unid.encode(),
+                    _STUB_PREFIX + unid.encode(),
+                ):
+                    if key in self.engine:
+                        self.engine.delete(txn, key)
+            self.engine.commit(txn)
         return len(victims)
 
     def cutoff_delete(self, older_than: float) -> int:
@@ -597,7 +711,10 @@ class NotesDatabase:
         for unid in victims:
             doc = self._docs[unid]
             self._remove_doc_internal(unid)
+            self._log_purge(unid)
             self._notify(ChangeKind.DELETE, self._as_trash_stub(doc, "cutoff"), doc)
+        if victims:
+            self._persist_meta()
         return len(victims)
 
     def state_fingerprint(self) -> str:
@@ -773,38 +890,71 @@ class NotesDatabase:
         if key in self.engine:
             self.engine.remove(key)
 
+    def _meta_payload(self) -> bytes:
+        return json.dumps(
+            {
+                "journal_id": self.journal_id,
+                # A floor for seq recovery: the purge that wrote this meta
+                # may have removed the journal's max-seq record, and seqs
+                # must never be reissued under the same journal identity.
+                "update_seq": self._update_seq,
+                "purge_seq": self._purge_seq,
+                "purges": [[seq, unid] for seq, unid in self._purges],
+            }
+        ).encode()
+
+    def _persist_meta(self) -> None:
+        """Write the journal identity + purge log through the engine."""
+        if self.engine is None:
+            return
+        self.engine.set(_META_KEY, self._meta_payload())
+
     def _load_from_engine(self) -> None:
+        # Iterate only the note-record prefixes: the engine also holds
+        # derived-structure sidecars (view indexes, full-text checkpoint
+        # blobs) that are not ours to parse — and not all of them are JSON.
         max_note_id = 0
         seq_records: dict[str, list] = {}
-        for key in self.engine.keys():
-            payload = json.loads(self.engine.get(key).decode())
-            if key.startswith(_DOC_PREFIX):
-                doc = Document.from_dict(payload)
-                doc.note_id = self._next_note_id + max_note_id
-                max_note_id += 1
-                self._docs[doc.unid] = doc
-                self._by_note_id[doc.note_id] = doc.unid
-            elif key.startswith(_STUB_PREFIX):
-                stub = DeletionStub.from_dict(payload)
-                self._stubs[stub.unid] = stub
-            elif key.startswith(_SEQ_PREFIX):
-                seq_records[key[len(_SEQ_PREFIX):].decode()] = payload
+        meta: dict | None = None
+        for key in self.engine.keys(prefix=_DOC_PREFIX):
+            doc = Document.from_dict(json.loads(self.engine.get(key).decode()))
+            doc.note_id = self._next_note_id + max_note_id
+            max_note_id += 1
+            self._docs[doc.unid] = doc
+            self._by_note_id[doc.note_id] = doc.unid
+        for key in self.engine.keys(prefix=_STUB_PREFIX):
+            stub = DeletionStub.from_dict(
+                json.loads(self.engine.get(key).decode())
+            )
+            self._stubs[stub.unid] = stub
+        for key in self.engine.keys(prefix=_SEQ_PREFIX):
+            seq_records[key[len(_SEQ_PREFIX):].decode()] = json.loads(
+                self.engine.get(key).decode()
+            )
+        raw_meta = self.engine.get(_META_KEY)
+        if raw_meta is not None:
+            meta = json.loads(raw_meta.decode())
         self._next_note_id += max_note_id
         for doc in self._docs.values():
             self._index_parent(doc)
             self._index_profile(doc)
         self._fp_acc = int(self._fingerprint_recompute(), 16)
-        self._recover_journal(seq_records)
+        self._recover_journal(seq_records, meta)
 
-    def _recover_journal(self, seq_records: dict[str, list]) -> None:
+    def _recover_journal(
+        self, seq_records: dict[str, list], meta: dict | None = None
+    ) -> None:
         """Rebuild the by-seq journal after an engine load.
 
         When every live note carries a persisted sequence record the
         journal is restored exactly (sequence numbers keep their meaning
-        across restarts, so partners' seq-based histories stay valid).
-        A pre-journal database file falls back to seeding fresh sequence
-        numbers in modified-time order; partners then re-examine via the
-        timestamp history, exactly as before the journal existed.
+        across restarts, so partners' seq-based histories and consumers'
+        seq checkpoints stay valid) and the persisted journal identity +
+        purge log are restored with it. A pre-journal database file falls
+        back to seeding fresh sequence numbers in modified-time order
+        under a *new* journal identity; partners then re-examine via the
+        timestamp history and checkpoint holders rebuild, exactly as
+        before the journal existed.
         """
         live_kinds = {unid: False for unid in self._docs}
         live_kinds.update({unid: True for unid in self._stubs})
@@ -812,22 +962,38 @@ class NotesDatabase:
             unid in seq_records and bool(seq_records[unid][1]) == is_stub
             for unid, is_stub in live_kinds.items()
         )
-        if recovered and live_kinds:
-            entries = sorted(
-                (seq_records[unid][0], unid, is_stub, seq_records[unid][2])
-                for unid, is_stub in live_kinds.items()
-            )
-            self._journal = entries
-            self._note_seq = {entry[1]: entry[0] for entry in entries}
-            self._update_seq = entries[-1][0]
-            for seq, unid, is_stub, when in entries:
-                if is_stub:
-                    self._stub_local[unid] = when
-                else:
-                    self._local_modified[unid] = when
+        if recovered:
+            if live_kinds:
+                entries = sorted(
+                    (seq_records[unid][0], unid, is_stub, seq_records[unid][2])
+                    for unid, is_stub in live_kinds.items()
+                )
+                self._journal = entries
+                self._note_seq = {entry[1]: entry[0] for entry in entries}
+                self._update_seq = entries[-1][0]
+                for seq, unid, is_stub, when in entries:
+                    if is_stub:
+                        self._stub_local[unid] = when
+                    else:
+                        self._local_modified[unid] = when
+            if meta is not None:
+                self.journal_id = meta["journal_id"]
+                self._update_seq = max(
+                    self._update_seq, int(meta.get("update_seq", 0))
+                )
+                self._purge_seq = int(meta.get("purge_seq", 0))
+                self._purges = [
+                    (int(seq), unid) for seq, unid in meta.get("purges", [])
+                ]
             return
         # Fallback: order by the notes' own times (the pre-journal
-        # incremental-scan keys) and assign fresh sequence numbers.
+        # incremental-scan keys) and assign fresh sequence numbers. The
+        # reseeded journal gets a fresh identity — derived, not random, so
+        # repeated recoveries of the same file are deterministic.
+        if meta is not None:
+            self.journal_id = hashlib.sha256(
+                f"{meta['journal_id']}:reseed".encode()
+            ).hexdigest()[:16]
         pending = sorted(
             [(doc.modified, unid, False) for unid, doc in self._docs.items()]
             + [

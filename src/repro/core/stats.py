@@ -1,0 +1,56 @@
+"""Shared instrumentation for journal-driven catch-up consumers.
+
+Every derived structure that rides the update-seq journal — views, the
+full-text index, the cluster backlog — answers the same three questions
+after a restart or a deferred batch: did it top up incrementally or fall
+back to a rebuild, how many notes did it replay, and how long did the
+catch-up take?  ``CatchUpStats`` gives them one shape for those answers
+so benchmarks and operators read every consumer the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CatchUpStats:
+    """Counters for one journal consumer's catch-up behaviour.
+
+    ``rebuilds``
+        Full from-scratch rebuilds (O(database) scans).
+    ``topups``
+        Incremental catch-ups replayed from ``changed_since_seq``
+        (O(log n + changes)).
+    ``notes_replayed``
+        Notes (documents + deletion stubs) examined across all top-ups.
+    ``purges_replayed``
+        Purge-log entries applied across all top-ups.
+    ``catch_up_seconds``
+        Wall-clock time spent in top-ups and rebuilds combined.
+    ``last_path``
+        What the most recent catch-up actually did: ``"noop"``,
+        ``"topup"``, or ``"rebuild"`` (empty before the first one).
+    """
+
+    rebuilds: int = 0
+    topups: int = 0
+    notes_replayed: int = 0
+    purges_replayed: int = 0
+    catch_up_seconds: float = 0.0
+    last_path: str = field(default="", compare=False)
+
+    def record_topup(self, notes: int, purges: int, seconds: float) -> None:
+        self.topups += 1
+        self.notes_replayed += notes
+        self.purges_replayed += purges
+        self.catch_up_seconds += seconds
+        self.last_path = "topup"
+
+    def record_rebuild(self, seconds: float) -> None:
+        self.rebuilds += 1
+        self.catch_up_seconds += seconds
+        self.last_path = "rebuild"
+
+    def record_noop(self) -> None:
+        self.last_path = "noop"

@@ -4,24 +4,48 @@ Postings map ``term -> unid -> field -> [positions]``. The index subscribes
 to database change events for incremental maintenance (``auto`` mode); the
 ``rebuild()`` path re-tokenizes the whole database and is the E8 baseline.
 
+With ``persist=True`` the postings plus a seq checkpoint are written
+through the storage engine. A reopened database loads the checkpoint as a
+*frozen base segment* — one unparsed blob plus a term directory of
+offsets — and re-tokenizes only the notes sequenced past the checkpoint.
+Superseded base entries are masked by a tombstone set rather than edited
+in place, and a term's postings are materialized (and cached) the first
+time a query or a write actually touches them. That keeps the reopen cost
+O(log n + changes): the O(index)-sized postings stay as bytes until asked
+for — the same segment-plus-deletes discipline an LSM engine or Lucene
+uses, and the full-text half of experiment E14.
+
 Scoring is tf–idf: ``tf * log(N / df)`` summed over the positive terms of
 the query. Phrases verify adjacent positions inside one field.
 """
 
 from __future__ import annotations
 
+import marshal
 import math
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.errors import FullTextError
 from repro.core.database import ChangeKind, NotesDatabase
 from repro.core.document import Document
 from repro.core.items import ItemType
+from repro.core.stats import CatchUpStats
 from repro.fulltext.query import And, Not, Or, Phrase, Term, parse_query
 from repro.fulltext.tokenizer import stem, tokenize
 
 _TEXT_TYPES = (ItemType.TEXT, ItemType.RICH_TEXT, ItemType.TEXT_LIST,
                ItemType.NAMES, ItemType.AUTHORS, ItemType.READERS)
+
+#: Engine keys of the persisted checkpoint. The meta record is JSON; the
+#: directories are marshal (term/unid -> (offset, length) into the blobs);
+#: the blobs are concatenated per-term / per-document marshal records and
+#: are never parsed wholesale on load.
+_META_KEY = b"ftidx:checkpoint"
+_TERM_DIR_KEY = b"ftidx:termdir"
+_POSTINGS_KEY = b"ftidx:postings"
+_DOC_DIR_KEY = b"ftidx:docdir"
+_DOC_TERMS_KEY = b"ftidx:docterms"
 
 
 @dataclass(frozen=True)
@@ -42,47 +66,328 @@ class FullTextIndex:
         db: NotesDatabase,
         mode: str = "auto",
         field_weights: dict[str, float] | None = None,
+        persist: bool = False,
+        journal: bool = True,
     ) -> None:
         if mode not in ("auto", "manual"):
             raise FullTextError(f"mode must be 'auto' or 'manual', got {mode!r}")
+        if persist and db.engine is None:
+            raise FullTextError(
+                "persist=True needs a database with a storage engine"
+            )
         self.db = db
         self.mode = mode
+        self.persist = persist
+        self.journal = journal
         self.field_weights = (
             dict(self.DEFAULT_FIELD_WEIGHTS)
             if field_weights is None
             else {name.lower(): weight for name, weight in field_weights.items()}
         )
-        # term -> unid -> field(lower) -> positions
+        # Live overlay: term -> unid -> field(lower) -> positions, plus
+        # unid -> term set (for cheap removal).
         self._postings: dict[str, dict[str, dict[str, list[int]]]] = {}
-        # unid -> term set (for cheap removal)
         self._doc_terms: dict[str, set[str]] = {}
+        # Frozen base segment from a loaded checkpoint: unparsed blobs +
+        # offset directories, materialized per term / per doc on demand.
+        # ``None`` means the blob exists in the engine but has not been
+        # fetched yet — reopen reads only the directories; the postings
+        # bytes come off disk the first time a term is actually read.
+        # ``_dead`` masks base entries superseded since the checkpoint.
+        self._base_blob: bytes | None = b""
+        self._base_dir: dict[str, tuple[int, int]] = {}
+        self._base_cache: dict[str, dict[str, dict[str, list[int]]]] = {}
+        self._docterms_blob: bytes | None = b""
+        self._docterms_dir: dict[str, tuple[int, int]] = {}
+        self._dead: set[str] = set()
+        # Per-term merge of overlay + base-minus-dead, invalidated on
+        # writes that touch the term.
+        self._merged_cache: dict[str, dict[str, dict[str, list[int]]]] = {}
         self._doc_count = 0
         self.rebuilds = 0
         self.incremental_ops = 0
+        self.loaded_from_disk = False
+        self.catch_up = CatchUpStats()
+        # Journal checkpoint the postings reflect (see views/view.py for
+        # the same scheme; trash rides along because soft deletes and
+        # restores never journal).
+        self._indexed_seq = -1
+        self._indexed_purge_seq = 0
+        self._indexed_journal_id = ""
+        self._indexed_trash: set[str] = set()
         if mode == "auto":
             db.subscribe(self._on_change)
-        self.rebuild()
+        if not (persist and self._try_load_checkpoint()):
+            self.rebuild()
 
     # -- maintenance --------------------------------------------------------
 
     def close(self) -> None:
+        if self.persist:
+            self.save_checkpoint()
         if self.mode == "auto":
             self.db.unsubscribe(self._on_change)
 
     def rebuild(self) -> int:
         """Re-index every live document; returns the document count."""
+        started = perf_counter()
         self._postings.clear()
         self._doc_terms.clear()
+        self._drop_base()
         self._doc_count = 0
         for doc in self.db.all_documents():
             self._add(doc)
         self.rebuilds += 1
+        self._mark_indexed()
+        self.catch_up.record_rebuild(perf_counter() - started)
         return self._doc_count
 
-    def refresh(self) -> None:
-        """Manual-mode catch-up (full rebuild, like the E8 baseline)."""
-        if self.mode == "manual":
+    def _drop_base(self) -> None:
+        self._base_blob = b""
+        self._base_dir = {}
+        self._base_cache.clear()
+        self._docterms_blob = b""
+        self._docterms_dir = {}
+        self._dead.clear()
+        self._merged_cache.clear()
+
+    def refresh(self) -> str:
+        """Manual-mode catch-up; reports which path ran.
+
+        ``"noop"`` when already current, ``"topup"`` when the journal
+        covers the gap (re-tokenizes only notes sequenced past the
+        checkpoint), ``"rebuild"`` otherwise — the E8 baseline and the
+        only path when ``journal=False``.
+        """
+        if self.mode != "manual" or (
+            self.journal and self._indexed_seq == self.db.update_seq
+            and self._indexed_purge_seq == self.db.purge_seq
+            and self._indexed_journal_id == self.db.journal_id
+            and self._indexed_trash == self.db._trash
+        ):
+            self.catch_up.record_noop()
+            return "noop"
+        if not self._catch_up_from_journal():
             self.rebuild()
+        return self.catch_up.last_path
+
+    def _mark_indexed(self) -> None:
+        db = self.db
+        self._indexed_seq = db.update_seq
+        self._indexed_purge_seq = db.purge_seq
+        self._indexed_journal_id = db.journal_id
+        self._indexed_trash = set(db._trash)
+
+    def _catch_up_from_journal(self) -> bool:
+        """Re-tokenize only notes past the checkpoint; False -> rebuild."""
+        db = self.db
+        if not self.journal or self._indexed_journal_id != db.journal_id:
+            return False
+        if self._indexed_seq > db.update_seq:
+            return False
+        purges = db.purges_since(self._indexed_purge_seq)
+        if purges is None:
+            return False
+        started = perf_counter()
+        replayed = 0
+        for _, unid in purges:
+            self._remove(unid)
+        docs, stubs = db.changed_since_seq(self._indexed_seq)
+        for doc in docs:
+            live = db.try_get(doc.unid)  # None when trashed meanwhile
+            self._remove(doc.unid)
+            if live is not None:
+                self._add(live)
+            replayed += 1
+        for stub in stubs:
+            self._remove(stub.unid)
+            replayed += 1
+        current_trash = set(db._trash)
+        for unid in current_trash - self._indexed_trash:
+            self._remove(unid)
+            replayed += 1
+        for unid in self._indexed_trash - current_trash:
+            doc = db.try_get(unid)
+            if doc is not None and not self._has_doc(unid):
+                self._add(doc)
+            replayed += 1
+        self._mark_indexed()
+        self.catch_up.record_topup(
+            replayed, len(purges), perf_counter() - started
+        )
+        return True
+
+    # -- checkpoint persistence -------------------------------------------
+
+    def save_checkpoint(self) -> None:
+        """Write postings + seq checkpoint through the storage engine.
+
+        One transaction covers the meta record, both directories, and
+        both blobs, so a crash never leaves a torn checkpoint: either the
+        whole segment is readable or the previous one still is.
+        """
+        import json
+
+        if self.db.engine is None:
+            raise FullTextError("database has no storage engine")
+        if self.mode == "auto":
+            # Auto mode tracks every change, so the postings are current
+            # as of now; a stale manual index keeps its true checkpoint.
+            self._mark_indexed()
+        term_parts: list[bytes] = []
+        term_dir: dict[str, tuple[int, int]] = {}
+        offset = 0
+        for term in sorted(set(self._postings) | set(self._base_dir)):
+            merged = self._merged(term)
+            if not merged:
+                continue
+            record = marshal.dumps(merged)
+            term_dir[term] = (offset, len(record))
+            offset += len(record)
+            term_parts.append(record)
+        doc_parts: list[bytes] = []
+        doc_dir: dict[str, tuple[int, int]] = {}
+        offset = 0
+        for unid in self._all_doc_unids():
+            record = marshal.dumps(tuple(sorted(self._terms_of(unid))))
+            doc_dir[unid] = (offset, len(record))
+            offset += len(record)
+            doc_parts.append(record)
+        meta = json.dumps({
+            "journal_id": self._indexed_journal_id,
+            "indexed_seq": self._indexed_seq,
+            "indexed_purge_seq": self._indexed_purge_seq,
+            "trash": sorted(self._indexed_trash),
+        }).encode()
+        engine = self.db.engine
+        txn = engine.begin()
+        engine.put(txn, _META_KEY, meta)
+        engine.put(txn, _TERM_DIR_KEY, marshal.dumps(term_dir))
+        engine.put(txn, _POSTINGS_KEY, b"".join(term_parts))
+        engine.put(txn, _DOC_DIR_KEY, marshal.dumps(doc_dir))
+        engine.put(txn, _DOC_TERMS_KEY, b"".join(doc_parts))
+        engine.commit(txn)
+
+    def _try_load_checkpoint(self) -> bool:
+        """Adopt the persisted segment and top up past its seq checkpoint.
+
+        Parses only the meta record and the offset directories — the
+        postings blob stays bytes until a term is touched. Returns False
+        (caller rebuilds) when no checkpoint exists, the journal identity
+        changed (pre-journal file or reseed), or the purge log no longer
+        reaches back to the checkpoint.
+        """
+        import json
+
+        engine = self.db.engine
+        raw_meta = engine.get(_META_KEY)
+        if raw_meta is None or not self.journal:
+            return False
+        meta = json.loads(raw_meta.decode())
+        if meta.get("journal_id") != self.db.journal_id:
+            return False
+        if meta["indexed_seq"] > self.db.update_seq:
+            return False
+        if self.db.purges_since(meta["indexed_purge_seq"]) is None:
+            return False
+        self._base_dir = marshal.loads(engine.get(_TERM_DIR_KEY))
+        self._docterms_dir = marshal.loads(engine.get(_DOC_DIR_KEY))
+        # The blobs stay on disk; None marks them fetchable on demand.
+        self._base_blob = None
+        self._docterms_blob = None
+        self._doc_count = len(self._docterms_dir)
+        self._indexed_seq = meta["indexed_seq"]
+        self._indexed_purge_seq = meta["indexed_purge_seq"]
+        self._indexed_journal_id = meta["journal_id"]
+        self._indexed_trash = set(meta.get("trash", ()))
+        if not self._catch_up_from_journal():  # pragma: no cover
+            return False  # validity pre-checked; cannot fail here
+        self.loaded_from_disk = True
+        return True
+
+    # -- base segment access ----------------------------------------------
+
+    def _postings_blob(self) -> bytes:
+        if self._base_blob is None:
+            self._base_blob = self.db.engine.get(_POSTINGS_KEY) or b""
+        return self._base_blob
+
+    def _doc_terms_blob(self) -> bytes:
+        if self._docterms_blob is None:
+            self._docterms_blob = self.db.engine.get(_DOC_TERMS_KEY) or b""
+        return self._docterms_blob
+
+    def _base_entry(self, term: str) -> dict[str, dict[str, list[int]]] | None:
+        """Materialize (and cache) one term's base postings, dead included."""
+        location = self._base_dir.get(term)
+        if location is None:
+            return None
+        entry = self._base_cache.get(term)
+        if entry is None:
+            start, length = location
+            entry = marshal.loads(self._postings_blob()[start:start + length])
+            self._base_cache[term] = entry
+        return entry
+
+    def _merged(self, term: str) -> dict[str, dict[str, list[int]]]:
+        """Overlay + base-minus-tombstones view of one term's postings.
+
+        Terms absent from the base segment need no merging — the overlay
+        dict is returned as-is (and never cached, so it is never mutated
+        by :meth:`_supersede`). Cached merges are always freshly-built
+        dicts this index owns.
+        """
+        if term not in self._base_dir:
+            live = self._postings.get(term)
+            return live if live is not None else {}
+        merged = self._merged_cache.get(term)
+        if merged is not None:
+            return merged
+        merged = {
+            unid: fields
+            for unid, fields in self._base_entry(term).items()
+            if unid not in self._dead
+        }
+        live = self._postings.get(term)
+        if live:
+            merged.update(live)
+        self._merged_cache[term] = merged
+        return merged
+
+    def _base_doc_terms(self, unid: str) -> tuple[str, ...]:
+        location = self._docterms_dir.get(unid)
+        if location is None:
+            return ()
+        start, length = location
+        return marshal.loads(self._doc_terms_blob()[start:start + length])
+
+    def _in_base(self, unid: str) -> bool:
+        return unid in self._docterms_dir and unid not in self._dead
+
+    def _has_doc(self, unid: str) -> bool:
+        return unid in self._doc_terms or self._in_base(unid)
+
+    def _terms_of(self, unid: str) -> set[str]:
+        terms = self._doc_terms.get(unid)
+        if terms is not None:
+            return terms
+        return set(self._base_doc_terms(unid))
+
+    def _all_doc_unids(self) -> set[str]:
+        return set(self._doc_terms) | {
+            unid for unid in self._docterms_dir if unid not in self._dead
+        }
+
+    def _supersede(self, unid: str) -> None:
+        """Tombstone a base document instead of editing the frozen segment.
+
+        Already-materialized merges drop the unid directly — cheaper than
+        parsing the doc's base term list, and a no-op at reopen catch-up
+        time when no merge has been materialized yet.
+        """
+        self._dead.add(unid)
+        for entry in self._merged_cache.values():
+            entry.pop(unid, None)
 
     def _on_change(self, kind: ChangeKind, payload, old: Document | None) -> None:
         self.incremental_ops += 1
@@ -95,6 +400,9 @@ class FullTextIndex:
             self._add(payload)
 
     def _add(self, doc: Document) -> None:
+        if self._in_base(doc.unid):
+            self._supersede(doc.unid)
+            self._doc_count -= 1
         terms: set[str] = set()
         for item in doc:
             if item.type not in _TEXT_TYPES:
@@ -112,11 +420,16 @@ class FullTextIndex:
                 slot.append(position)
                 terms.add(token)
         self._doc_terms[doc.unid] = terms
+        for term in terms:
+            self._merged_cache.pop(term, None)
         self._doc_count += 1
 
     def _remove(self, unid: str) -> None:
         terms = self._doc_terms.pop(unid, None)
         if terms is None:
+            if self._in_base(unid):
+                self._supersede(unid)
+                self._doc_count -= 1
             return
         for term in terms:
             postings = self._postings.get(term)
@@ -124,17 +437,42 @@ class FullTextIndex:
                 postings.pop(unid, None)
                 if not postings:
                     del self._postings[term]
+            self._merged_cache.pop(term, None)
+        if self._in_base(unid):  # overlay shadowed an older base entry
+            self._supersede(unid)
         self._doc_count -= 1
 
     # -- stats ------------------------------------------------------------
 
     @property
     def term_count(self) -> int:
-        return len(self._postings)
+        """Distinct terms with at least one live posting.
+
+        With a base segment loaded this materializes every base term
+        (it must check for tombstone survivors), so it is a diagnostics
+        property, not a hot path.
+        """
+        if not self._base_dir:
+            return len(self._postings)
+        terms = set(self._postings)
+        for term in self._base_dir:
+            if term not in terms and self._merged(term):
+                terms.add(term)
+        return len(terms)
 
     @property
     def document_count(self) -> int:
         return self._doc_count
+
+    def postings_snapshot(self) -> dict[str, dict[str, dict[str, list[int]]]]:
+        """Fully-materialized postings (overlay + base), for equivalence
+        checks — forces every lazy term, so O(index)."""
+        snapshot = {}
+        for term in set(self._postings) | set(self._base_dir):
+            merged = self._merged(term)
+            if merged:
+                snapshot[term] = merged
+        return snapshot
 
     # -- search -------------------------------------------------------------
 
@@ -164,7 +502,7 @@ class FullTextIndex:
     # -- boolean evaluation --------------------------------------------------
 
     def _universe(self) -> set[str]:
-        return set(self._doc_terms)
+        return self._all_doc_unids()
 
     def _eval(self, node) -> set[str]:
         if isinstance(node, Term):
@@ -187,7 +525,7 @@ class FullTextIndex:
         raise FullTextError(f"cannot evaluate query node {node!r}")
 
     def _term_docs(self, term: Term) -> set[str]:
-        postings = self._postings.get(stem(term.text.lower()), {})
+        postings = self._merged(stem(term.text.lower()))
         if term.field is None:
             return set(postings)
         field = term.field.lower()
@@ -201,7 +539,7 @@ class FullTextIndex:
             return self._term_docs(Term(words[0], field=phrase.field))
         candidates = None
         for word in words:
-            docs = set(self._postings.get(word, {}))
+            docs = set(self._merged(word))
             candidates = docs if candidates is None else candidates & docs
         result = set()
         for unid in candidates or ():
@@ -212,18 +550,18 @@ class FullTextIndex:
     def _phrase_in_doc(self, words: list[str], unid: str, field: str | None) -> bool:
         fields = set()
         for word in words:
-            entry = self._postings.get(word, {}).get(unid, {})
+            entry = self._merged(word).get(unid, {})
             fields |= set(entry)
         if field is not None:
             fields &= {field.lower()}
         for candidate_field in fields:
-            starts = self._postings.get(words[0], {}).get(unid, {}).get(
+            starts = self._merged(words[0]).get(unid, {}).get(
                 candidate_field, []
             )
             for start in starts:
                 if all(
                     (start + offset)
-                    in self._postings.get(word, {}).get(unid, {}).get(
+                    in self._merged(word).get(unid, {}).get(
                         candidate_field, []
                     )
                     for offset, word in enumerate(words[1:], 1)
@@ -253,7 +591,7 @@ class FullTextIndex:
                 else [stem(node.text.lower())]
             )
             for word in words:
-                postings = self._postings.get(word)
+                postings = self._merged(word)
                 if not postings or unid not in postings:
                     continue
                 tf = sum(

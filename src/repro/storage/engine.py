@@ -193,9 +193,17 @@ class StorageEngine:
     def __contains__(self, key: bytes) -> bool:
         return key in self._index
 
-    def keys(self) -> Iterator[bytes]:
-        """All committed keys (unordered)."""
-        return iter(list(self._index))
+    def keys(self, prefix: bytes | None = None) -> Iterator[bytes]:
+        """Committed keys (unordered), optionally only those under ``prefix``.
+
+        The index is in memory, so prefix filtering here saves callers
+        from fetching and decoding records they don't want — a database
+        open reads note records without touching view sidecars or
+        full-text checkpoint blobs (which aren't even JSON).
+        """
+        if prefix is None:
+            return iter(list(self._index))
+        return iter([key for key in self._index if key.startswith(prefix)])
 
     def __len__(self) -> int:
         return len(self._index)

@@ -58,7 +58,7 @@ class TestPersistedViews:
         assert warm.all_unids() == expected
         engine2.close()
 
-    def test_stale_index_rebuilds(self, store):
+    def test_stale_index_tops_up_from_journal(self, store):
         engine, db = store()
         doc = db.create({"Form": "Memo", "Amount": 1, "Subject": "x"})
         view = make_view(db)
@@ -70,10 +70,38 @@ class TestPersistedViews:
         engine2, db2 = store(seed=2)
         db2.create({"Form": "Memo", "Amount": 5, "Subject": "new"})
         fresh = make_view(db2)
-        assert not fresh.loaded_from_disk  # fingerprint mismatch -> rebuild
-        assert fresh.rebuilds == 1
+        # Stale snapshot + same journal: loaded and topped up, no rebuild.
+        assert fresh.loaded_from_disk
+        assert fresh.rebuilds == 0
+        assert fresh.catch_up.last_path == "topup"
+        assert fresh.catch_up.notes_replayed >= 1
         amounts = [entry.values[0] for entry in fresh.entries()]
         assert amounts == sorted(amounts, reverse=True)
+        assert amounts == [99, 5]
+        engine2.close()
+
+    def test_stale_index_rebuilds_with_journal_off(self, store):
+        engine, db = store()
+        doc = db.create({"Form": "Memo", "Amount": 1, "Subject": "x"})
+        view = make_view(db)
+        view.save_index()
+        db.update(doc.unid, {"Amount": 99})
+        engine.close()
+
+        engine2, db2 = store(seed=2)
+        fresh = View(
+            db2, "ByAmount", selection='SELECT Form = "Memo"',
+            columns=[
+                ViewColumn(title="Amount", item="Amount",
+                           sort=SortOrder.DESCENDING),
+                ViewColumn(title="Subject", item="Subject"),
+            ],
+            persist=True, journal=False,
+        )
+        # The ablation keeps the pre-journal contract: stale -> rebuild.
+        assert not fresh.loaded_from_disk
+        assert fresh.rebuilds == 1
+        assert [entry.values[0] for entry in fresh.entries()] == [99]
         engine2.close()
 
     def test_design_change_invalidates(self, store):
