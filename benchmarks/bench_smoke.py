@@ -89,6 +89,43 @@ def test_smoke_cluster_backlog_drains():
     assert cluster.stats.replayed >= 5
 
 
+def test_smoke_segment_saves_append_then_fold(tmp_path):
+    """E15 shape: a checkpoint save appends one segment per delta; the
+    single-segment ablation folds everything back down every save."""
+    from repro.storage import SINGLE_SEGMENT
+
+    engine, db = build_catchup_corpus(str(tmp_path / "segs"), 300, 10)
+    try:
+        view = catchup_view(db)  # warm load + top-up
+        index = FullTextIndex(db, persist=True)
+        view.save_index()
+        index.save_checkpoint()
+        view_stats = view.catch_up.segment_stats["entries"]
+        ft_stats = index.catch_up.segment_stats["docs"]
+        # The save appended the 10-doc delta as a second segment instead
+        # of rewriting the 300-entry base.
+        assert view_stats.segments == 2
+        assert view_stats.records_appended <= 310  # base + the delta
+        assert ft_stats.segments == 2
+        assert view.catch_up.merges == index.catch_up.merges == 0
+
+        db.clock.advance(1)
+        for unid in db.rng.sample(db.unids(), 10):
+            db.update(unid, {"Subject": "fold me"})
+        view.merge_policy = SINGLE_SEGMENT
+        index.merge_policy = SINGLE_SEGMENT
+        view.save_index()
+        index.save_checkpoint()
+        assert view_stats.segments == 1
+        assert ft_stats.segments == 1
+        assert view.catch_up.merges > 0 and view_stats.bytes_folded > 0
+        assert index.catch_up.merges > 0 and ft_stats.bytes_folded > 0
+        index.close()
+        view.close()
+    finally:
+        engine.close()
+
+
 def test_smoke_catchup_rides_the_delta(tmp_path):
     """E14 shape: every seq-checkpointed consumer tops up from the journal."""
     engine, db = build_catchup_corpus(str(tmp_path / "smoke"), 300, 10)

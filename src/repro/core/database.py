@@ -174,6 +174,9 @@ class NotesDatabase:
         self._by_note_id: dict[int, str] = {}
         self._next_note_id = 1
         self._observers: list[Observer] = []
+        # Save hooks of persistent derived structures (view sidecars,
+        # full-text checkpoints); flushed together by save_checkpoints().
+        self._checkpointers: list[Callable[[], None]] = []
         # -- update-sequence journal (the by-seq index) --
         self._update_seq = 0
         self._journal: list[_JournalEntry] = []
@@ -215,6 +218,37 @@ class NotesDatabase:
 
     def unsubscribe(self, observer: Observer) -> None:
         self._observers.remove(observer)
+
+    # -- checkpoint wiring ---------------------------------------------------
+
+    def register_checkpointer(self, save: Callable[[], None]) -> None:
+        """Register a derived structure's save hook (persistent views and
+        full-text indexes do this), so one :meth:`save_checkpoints` call
+        flushes every sidecar the database carries."""
+        self._checkpointers.append(save)
+
+    def unregister_checkpointer(self, save: Callable[[], None]) -> None:
+        if save in self._checkpointers:
+            self._checkpointers.remove(save)
+
+    def save_checkpoints(self) -> int:
+        """Flush every registered sidecar; returns how many were saved."""
+        hooks = list(self._checkpointers)
+        for save in hooks:
+            save()
+        return len(hooks)
+
+    def close(self) -> None:
+        """Flush every registered sidecar, then close the storage engine.
+
+        The database-level counterpart of closing an NSF: derived
+        structures write their segment checkpoints (each an O(delta)
+        append, see ``repro.storage.segments``) and the engine takes its
+        sharp checkpoint.
+        """
+        self.save_checkpoints()
+        if self.engine is not None:
+            self.engine.close()
 
     def _notify(self, kind: ChangeKind, payload: Any, old: Document | None) -> None:
         for observer in self._observers:

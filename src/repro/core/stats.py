@@ -28,9 +28,17 @@ class CatchUpStats:
         Purge-log entries applied across all top-ups.
     ``catch_up_seconds``
         Wall-clock time spent in top-ups and rebuilds combined.
+    ``merges``
+        Segment folds performed while saving checkpoints (consumers on
+        the shared :class:`repro.storage.SegmentStack` record them here).
+    ``segment_stats``
+        Per-stack :class:`repro.storage.SegmentStats`, keyed by the
+        consumer's name for the stack (e.g. ``"entries"``, ``"terms"``,
+        ``"docs"``). Live objects — they track the stack as it moves.
     ``last_path``
         What the most recent catch-up actually did: ``"noop"``,
-        ``"topup"``, or ``"rebuild"`` (empty before the first one).
+        ``"topup"``, ``"merge"`` (a top-up whose checkpoint save also
+        folded segments), or ``"rebuild"`` (empty before the first one).
     """
 
     rebuilds: int = 0
@@ -38,6 +46,8 @@ class CatchUpStats:
     notes_replayed: int = 0
     purges_replayed: int = 0
     catch_up_seconds: float = 0.0
+    merges: int = 0
+    segment_stats: dict = field(default_factory=dict, compare=False)
     last_path: str = field(default="", compare=False)
 
     def record_topup(self, notes: int, purges: int, seconds: float) -> None:
@@ -54,3 +64,10 @@ class CatchUpStats:
 
     def record_noop(self) -> None:
         self.last_path = "noop"
+
+    def record_merge(self, folds: int) -> None:
+        """Folds performed by a checkpoint save; promotes ``last_path``
+        to ``"merge"`` so top-up and top-up-plus-fold are tellable apart."""
+        if folds > 0:
+            self.merges += folds
+            self.last_path = "merge"

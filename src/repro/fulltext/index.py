@@ -5,15 +5,24 @@ to database change events for incremental maintenance (``auto`` mode); the
 ``rebuild()`` path re-tokenizes the whole database and is the E8 baseline.
 
 With ``persist=True`` the postings plus a seq checkpoint are written
-through the storage engine. A reopened database loads the checkpoint as a
-*frozen base segment* — one unparsed blob plus a term directory of
-offsets — and re-tokenizes only the notes sequenced past the checkpoint.
-Superseded base entries are masked by a tombstone set rather than edited
-in place, and a term's postings are materialized (and cached) the first
-time a query or a write actually touches them. That keeps the reopen cost
-O(log n + changes): the O(index)-sized postings stay as bytes until asked
-for — the same segment-plus-deletes discipline an LSM engine or Lucene
-uses, and the full-text half of experiment E14.
+through the storage engine as a **stack of immutable segments**
+(:class:`repro.storage.SegmentStack`): each ``save_checkpoint`` appends
+the live overlay as a *new* segment — close cost O(delta), the other
+half of what the seq journal did for reopen — and a merge policy folds
+segments back together (smallest adjacent pair first) when their count
+or dead ratio crosses a threshold, the LSM/Lucene amortization. Two
+stacks ride in positional lockstep: ``ftidx:terms`` holds each segment's
+term → postings records (every segment's record is live data for the
+documents written in that segment) and ``ftidx:docs`` holds the
+doc → terms table whose newest-wins positions arbitrate which segment's
+postings for a document still count.
+
+A reopened database loads only the meta record and the per-segment
+offset directories; postings blobs stay unparsed bytes until a query
+touches a term, and only notes sequenced past the checkpoint are
+re-tokenized. That keeps reopen O(directories + changes) and close
+O(delta) — both ends of the session now ride the delta (experiments E14
+and E15).
 
 Scoring is tf–idf: ``tf * log(N / df)`` summed over the positive terms of
 the query. Phrases verify adjacent positions inside one field.
@@ -21,7 +30,6 @@ the query. Phrases verify adjacent positions inside one field.
 
 from __future__ import annotations
 
-import marshal
 import math
 from dataclasses import dataclass
 from time import perf_counter
@@ -33,19 +41,17 @@ from repro.core.items import ItemType
 from repro.core.stats import CatchUpStats
 from repro.fulltext.query import And, Not, Or, Phrase, Term, parse_query
 from repro.fulltext.tokenizer import stem, tokenize
+from repro.storage.segments import MergePolicy, SegmentStack, SegmentStats
 
 _TEXT_TYPES = (ItemType.TEXT, ItemType.RICH_TEXT, ItemType.TEXT_LIST,
                ItemType.NAMES, ItemType.AUTHORS, ItemType.READERS)
 
-#: Engine keys of the persisted checkpoint. The meta record is JSON; the
-#: directories are marshal (term/unid -> (offset, length) into the blobs);
-#: the blobs are concatenated per-term / per-document marshal records and
-#: are never parsed wholesale on load.
-_META_KEY = b"ftidx:checkpoint"
-_TERM_DIR_KEY = b"ftidx:termdir"
-_POSTINGS_KEY = b"ftidx:postings"
-_DOC_DIR_KEY = b"ftidx:docdir"
-_DOC_TERMS_KEY = b"ftidx:docterms"
+#: Engine keys of the persisted checkpoint. The meta record is JSON and
+#: embeds both stacks' manifests; the per-segment directories and blobs
+#: live under the stack namespaces and are managed by SegmentStack.
+_META_KEY = b"ftidx:meta"
+_TERMS_NS = b"ftidx:terms"
+_DOCS_NS = b"ftidx:docs"
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,7 @@ class FullTextIndex:
         field_weights: dict[str, float] | None = None,
         persist: bool = False,
         journal: bool = True,
+        merge_policy: MergePolicy | None = None,
     ) -> None:
         if mode not in ("auto", "manual"):
             raise FullTextError(f"mode must be 'auto' or 'manual', got {mode!r}")
@@ -79,28 +86,26 @@ class FullTextIndex:
         self.mode = mode
         self.persist = persist
         self.journal = journal
+        self.merge_policy = merge_policy or MergePolicy()
         self.field_weights = (
             dict(self.DEFAULT_FIELD_WEIGHTS)
             if field_weights is None
             else {name.lower(): weight for name, weight in field_weights.items()}
         )
         # Live overlay: term -> unid -> field(lower) -> positions, plus
-        # unid -> term set (for cheap removal).
+        # unid -> term set (for cheap removal). Everything indexed since
+        # the last segment append lives here; save_checkpoint freezes it
+        # into a new segment.
         self._postings: dict[str, dict[str, dict[str, list[int]]]] = {}
         self._doc_terms: dict[str, set[str]] = {}
-        # Frozen base segment from a loaded checkpoint: unparsed blobs +
-        # offset directories, materialized per term / per doc on demand.
-        # ``None`` means the blob exists in the engine but has not been
-        # fetched yet — reopen reads only the directories; the postings
-        # bytes come off disk the first time a term is actually read.
-        # ``_dead`` masks base entries superseded since the checkpoint.
-        self._base_blob: bytes | None = b""
-        self._base_dir: dict[str, tuple[int, int]] = {}
-        self._base_cache: dict[str, dict[str, dict[str, list[int]]]] = {}
-        self._docterms_blob: bytes | None = b""
-        self._docterms_dir: dict[str, tuple[int, int]] = {}
+        # The frozen segment stacks (None until a checkpoint is loaded or
+        # saved). ``_dead`` masks stack documents superseded or deleted
+        # since the last append; it becomes the stack's tombstones at the
+        # next save.
+        self._terms_stack: SegmentStack | None = None
+        self._docs_stack: SegmentStack | None = None
         self._dead: set[str] = set()
-        # Per-term merge of overlay + base-minus-dead, invalidated on
+        # Per-term merge of overlay + stack-minus-dead, invalidated on
         # writes that touch the term.
         self._merged_cache: dict[str, dict[str, dict[str, list[int]]]] = {}
         self._doc_count = 0
@@ -108,6 +113,12 @@ class FullTextIndex:
         self.incremental_ops = 0
         self.loaded_from_disk = False
         self.catch_up = CatchUpStats()
+        # Stats objects outlive stack reconstructions (rebuilds, reloads)
+        # so the counters accumulate across the index's whole life.
+        self._terms_stats = SegmentStats()
+        self._docs_stats = SegmentStats()
+        self.catch_up.segment_stats["terms"] = self._terms_stats
+        self.catch_up.segment_stats["docs"] = self._docs_stats
         # Journal checkpoint the postings reflect (see views/view.py for
         # the same scheme; trash rides along because soft deletes and
         # restores never journal).
@@ -117,6 +128,8 @@ class FullTextIndex:
         self._indexed_trash: set[str] = set()
         if mode == "auto":
             db.subscribe(self._on_change)
+        if persist:
+            db.register_checkpointer(self.save_checkpoint)
         if not (persist and self._try_load_checkpoint()):
             self.rebuild()
 
@@ -125,6 +138,7 @@ class FullTextIndex:
     def close(self) -> None:
         if self.persist:
             self.save_checkpoint()
+            self.db.unregister_checkpointer(self.save_checkpoint)
         if self.mode == "auto":
             self.db.unsubscribe(self._on_change)
 
@@ -143,11 +157,10 @@ class FullTextIndex:
         return self._doc_count
 
     def _drop_base(self) -> None:
-        self._base_blob = b""
-        self._base_dir = {}
-        self._base_cache.clear()
-        self._docterms_blob = b""
-        self._docterms_dir = {}
+        """Forget the loaded stacks; the next save rewrites from scratch
+        (and deletes whatever segment keys the old meta still names)."""
+        self._terms_stack = None
+        self._docs_stack = None
         self._dead.clear()
         self._merged_cache.clear()
 
@@ -219,12 +232,49 @@ class FullTextIndex:
 
     # -- checkpoint persistence -------------------------------------------
 
-    def save_checkpoint(self) -> None:
-        """Write postings + seq checkpoint through the storage engine.
+    def _make_stacks(self) -> None:
+        self._terms_stack = SegmentStack(
+            self.db.engine, _TERMS_NS, policy=self.merge_policy,
+            newest_wins=False, stats=self._terms_stats,
+        )
+        self._docs_stack = SegmentStack(
+            self.db.engine, _DOCS_NS, policy=self.merge_policy,
+            stats=self._docs_stats,
+        )
 
-        One transaction covers the meta record, both directories, and
-        both blobs, so a crash never leaves a torn checkpoint: either the
-        whole segment is readable or the previous one still is.
+    def _fold_combine(self, index: int, newer_doc_keys: set[str]):
+        """Combine callback folding the terms stack in lockstep with a
+        docs-stack fold at ``index``.
+
+        A document's postings for a term must come from the segment that
+        holds the document's live version: entries whose document was
+        rewritten in the pair's newer segment (``newer_doc_keys``, the
+        docs directory captured *before* the docs fold) or in a segment
+        above the pair are dead and dropped here — folds are where the
+        tombstone debt gets paid down.
+        """
+        docs = self._docs_stack
+
+        def combine(term, older, newer):
+            merged = {}
+            for unid, fields in (older or {}).items():
+                if unid not in newer_doc_keys and docs.position_of(unid) == index:
+                    merged[unid] = fields
+            for unid, fields in (newer or {}).items():
+                if docs.position_of(unid) == index:
+                    merged[unid] = fields
+            return merged or None
+
+        return combine
+
+    def save_checkpoint(self) -> None:
+        """Append the live overlay as a new segment + the seq checkpoint.
+
+        One transaction covers the appended segment pair, any folds the
+        merge policy demands, and the meta record naming them, so a crash
+        never leaves a torn checkpoint: either the whole new stack state
+        is readable or the previous one still is. Cost is O(overlay) —
+        the delta since the last save — plus whatever the policy folds.
         """
         import json
 
@@ -234,48 +284,68 @@ class FullTextIndex:
             # Auto mode tracks every change, so the postings are current
             # as of now; a stale manual index keeps its true checkpoint.
             self._mark_indexed()
-        term_parts: list[bytes] = []
-        term_dir: dict[str, tuple[int, int]] = {}
-        offset = 0
-        for term in sorted(set(self._postings) | set(self._base_dir)):
-            merged = self._merged(term)
-            if not merged:
-                continue
-            record = marshal.dumps(merged)
-            term_dir[term] = (offset, len(record))
-            offset += len(record)
-            term_parts.append(record)
-        doc_parts: list[bytes] = []
-        doc_dir: dict[str, tuple[int, int]] = {}
-        offset = 0
-        for unid in self._all_doc_unids():
-            record = marshal.dumps(tuple(sorted(self._terms_of(unid))))
-            doc_dir[unid] = (offset, len(record))
-            offset += len(record)
-            doc_parts.append(record)
+        engine = self.db.engine
+        txn = engine.begin()
+        if self._terms_stack is None:
+            raw_meta = engine.get(_META_KEY)
+            if raw_meta is not None:
+                old_meta = json.loads(raw_meta.decode())
+                SegmentStack.delete_manifest(
+                    engine, txn, _TERMS_NS, old_meta.get("terms", {})
+                )
+                SegmentStack.delete_manifest(
+                    engine, txn, _DOCS_NS, old_meta.get("docs", {})
+                )
+            self._make_stacks()
+        # Honour runtime policy swaps (the E15 ablation flips a warm
+        # index to SINGLE_SEGMENT between saves).
+        self._terms_stack.policy = self.merge_policy
+        self._docs_stack.policy = self.merge_policy
+        folds: list[int] = []
+        if self._doc_terms or self._dead:
+            docs_records = {
+                unid: tuple(sorted(terms))
+                for unid, terms in self._doc_terms.items()
+            }
+            terms_records = {
+                term: postings
+                for term, postings in self._postings.items()
+                if postings
+            }
+            self._docs_stack.append(txn, docs_records, remove=self._dead)
+            self._terms_stack.append(txn, terms_records)
+            folds = self._docs_stack.maintain(
+                txn,
+                mirror=lambda index, newer_keys: self._terms_stack.fold(
+                    txn, index, self._fold_combine(index, newer_keys)
+                ),
+            )
+            # The overlay now lives in the stack (append seeded the
+            # record caches, so nothing re-parses on the next query).
+            self._postings = {}
+            self._doc_terms = {}
+            self._dead = set()
         meta = json.dumps({
             "journal_id": self._indexed_journal_id,
             "indexed_seq": self._indexed_seq,
             "indexed_purge_seq": self._indexed_purge_seq,
             "trash": sorted(self._indexed_trash),
+            "terms": self._terms_stack.manifest(),
+            "docs": self._docs_stack.manifest(),
         }).encode()
-        engine = self.db.engine
-        txn = engine.begin()
         engine.put(txn, _META_KEY, meta)
-        engine.put(txn, _TERM_DIR_KEY, marshal.dumps(term_dir))
-        engine.put(txn, _POSTINGS_KEY, b"".join(term_parts))
-        engine.put(txn, _DOC_DIR_KEY, marshal.dumps(doc_dir))
-        engine.put(txn, _DOC_TERMS_KEY, b"".join(doc_parts))
         engine.commit(txn)
+        self.catch_up.record_merge(len(folds))
 
     def _try_load_checkpoint(self) -> bool:
-        """Adopt the persisted segment and top up past its seq checkpoint.
+        """Adopt the persisted segments and top up past the checkpoint.
 
-        Parses only the meta record and the offset directories — the
-        postings blob stays bytes until a term is touched. Returns False
-        (caller rebuilds) when no checkpoint exists, the journal identity
-        changed (pre-journal file or reseed), or the purge log no longer
-        reaches back to the checkpoint.
+        Parses only the meta record and the per-segment offset
+        directories — postings blobs stay bytes until a term is touched.
+        Returns False (caller rebuilds) when no checkpoint exists, the
+        journal identity changed (pre-journal file or reseed), the purge
+        log no longer reaches back to the checkpoint, or the manifest
+        names a segment the engine does not hold.
         """
         import json
 
@@ -290,12 +360,13 @@ class FullTextIndex:
             return False
         if self.db.purges_since(meta["indexed_purge_seq"]) is None:
             return False
-        self._base_dir = marshal.loads(engine.get(_TERM_DIR_KEY))
-        self._docterms_dir = marshal.loads(engine.get(_DOC_DIR_KEY))
-        # The blobs stay on disk; None marks them fetchable on demand.
-        self._base_blob = None
-        self._docterms_blob = None
-        self._doc_count = len(self._docterms_dir)
+        self._make_stacks()
+        if not self._docs_stack.load(meta.get("docs", {})) or (
+            not self._terms_stack.load(meta.get("terms", {}))
+        ):
+            self._drop_base()
+            return False
+        self._doc_count = self._docs_stack.live_count()
         self._indexed_seq = meta["indexed_seq"]
         self._indexed_purge_seq = meta["indexed_purge_seq"]
         self._indexed_journal_id = meta["journal_id"]
@@ -305,84 +376,72 @@ class FullTextIndex:
         self.loaded_from_disk = True
         return True
 
-    # -- base segment access ----------------------------------------------
-
-    def _postings_blob(self) -> bytes:
-        if self._base_blob is None:
-            self._base_blob = self.db.engine.get(_POSTINGS_KEY) or b""
-        return self._base_blob
-
-    def _doc_terms_blob(self) -> bytes:
-        if self._docterms_blob is None:
-            self._docterms_blob = self.db.engine.get(_DOC_TERMS_KEY) or b""
-        return self._docterms_blob
-
-    def _base_entry(self, term: str) -> dict[str, dict[str, list[int]]] | None:
-        """Materialize (and cache) one term's base postings, dead included."""
-        location = self._base_dir.get(term)
-        if location is None:
-            return None
-        entry = self._base_cache.get(term)
-        if entry is None:
-            start, length = location
-            entry = marshal.loads(self._postings_blob()[start:start + length])
-            self._base_cache[term] = entry
-        return entry
+    # -- segment stack access ----------------------------------------------
 
     def _merged(self, term: str) -> dict[str, dict[str, list[int]]]:
-        """Overlay + base-minus-tombstones view of one term's postings.
+        """Overlay + stack-minus-dead view of one term's postings.
 
-        Terms absent from the base segment need no merging — the overlay
+        Terms absent from every segment need no merging — the overlay
         dict is returned as-is (and never cached, so it is never mutated
         by :meth:`_supersede`). Cached merges are always freshly-built
-        dicts this index owns.
+        dicts this index owns. A stack entry counts only when its
+        segment is the document's newest home (the docs stack
+        arbitrates) and the document is not dead.
         """
-        if term not in self._base_dir:
+        if self._terms_stack is None or term not in self._terms_stack:
             live = self._postings.get(term)
             return live if live is not None else {}
         merged = self._merged_cache.get(term)
         if merged is not None:
             return merged
-        merged = {
-            unid: fields
-            for unid, fields in self._base_entry(term).items()
-            if unid not in self._dead
-        }
+        merged = {}
+        for position, record in self._terms_stack.records(term):
+            for unid, fields in record.items():
+                if unid in self._dead or unid in self._doc_terms:
+                    continue  # superseded since the last append
+                if self._docs_stack.position_of(unid) != position:
+                    continue  # a newer segment rewrote this document
+                merged[unid] = fields
         live = self._postings.get(term)
         if live:
             merged.update(live)
         self._merged_cache[term] = merged
         return merged
 
-    def _base_doc_terms(self, unid: str) -> tuple[str, ...]:
-        location = self._docterms_dir.get(unid)
-        if location is None:
-            return ()
-        start, length = location
-        return marshal.loads(self._doc_terms_blob()[start:start + length])
-
-    def _in_base(self, unid: str) -> bool:
-        return unid in self._docterms_dir and unid not in self._dead
+    def _in_stack(self, unid: str) -> bool:
+        return (
+            self._docs_stack is not None
+            and unid not in self._dead
+            and self._docs_stack.position_of(unid) is not None
+        )
 
     def _has_doc(self, unid: str) -> bool:
-        return unid in self._doc_terms or self._in_base(unid)
+        return unid in self._doc_terms or self._in_stack(unid)
 
     def _terms_of(self, unid: str) -> set[str]:
         terms = self._doc_terms.get(unid)
         if terms is not None:
             return terms
-        return set(self._base_doc_terms(unid))
+        if not self._in_stack(unid):
+            return set()
+        record = self._docs_stack.get(unid)
+        return set(record) if record else set()
 
     def _all_doc_unids(self) -> set[str]:
-        return set(self._doc_terms) | {
-            unid for unid in self._docterms_dir if unid not in self._dead
-        }
+        unids = set(self._doc_terms)
+        if self._docs_stack is not None:
+            unids.update(
+                unid
+                for unid in self._docs_stack.live_keys()
+                if unid not in self._dead
+            )
+        return unids
 
     def _supersede(self, unid: str) -> None:
-        """Tombstone a base document instead of editing the frozen segment.
+        """Tombstone a stack document instead of editing frozen segments.
 
         Already-materialized merges drop the unid directly — cheaper than
-        parsing the doc's base term list, and a no-op at reopen catch-up
+        parsing the doc's stack term list, and a no-op at reopen catch-up
         time when no merge has been materialized yet.
         """
         self._dead.add(unid)
@@ -400,7 +459,7 @@ class FullTextIndex:
             self._add(payload)
 
     def _add(self, doc: Document) -> None:
-        if self._in_base(doc.unid):
+        if self._in_stack(doc.unid):
             self._supersede(doc.unid)
             self._doc_count -= 1
         terms: set[str] = set()
@@ -427,7 +486,7 @@ class FullTextIndex:
     def _remove(self, unid: str) -> None:
         terms = self._doc_terms.pop(unid, None)
         if terms is None:
-            if self._in_base(unid):
+            if self._in_stack(unid):
                 self._supersede(unid)
                 self._doc_count -= 1
             return
@@ -438,7 +497,7 @@ class FullTextIndex:
                 if not postings:
                     del self._postings[term]
             self._merged_cache.pop(term, None)
-        if self._in_base(unid):  # overlay shadowed an older base entry
+        if self._in_stack(unid):  # overlay shadowed an older stack entry
             self._supersede(unid)
         self._doc_count -= 1
 
@@ -448,14 +507,14 @@ class FullTextIndex:
     def term_count(self) -> int:
         """Distinct terms with at least one live posting.
 
-        With a base segment loaded this materializes every base term
-        (it must check for tombstone survivors), so it is a diagnostics
-        property, not a hot path.
+        With segments loaded this materializes every stack term (it must
+        check for tombstone survivors), so it is a diagnostics property,
+        not a hot path.
         """
-        if not self._base_dir:
+        if self._terms_stack is None:
             return len(self._postings)
         terms = set(self._postings)
-        for term in self._base_dir:
+        for term in self._terms_stack.keys():
             if term not in terms and self._merged(term):
                 terms.add(term)
         return len(terms)
@@ -465,10 +524,13 @@ class FullTextIndex:
         return self._doc_count
 
     def postings_snapshot(self) -> dict[str, dict[str, dict[str, list[int]]]]:
-        """Fully-materialized postings (overlay + base), for equivalence
+        """Fully-materialized postings (overlay + stack), for equivalence
         checks — forces every lazy term, so O(index)."""
         snapshot = {}
-        for term in set(self._postings) | set(self._base_dir):
+        terms = set(self._postings)
+        if self._terms_stack is not None:
+            terms.update(self._terms_stack.keys())
+        for term in terms:
             merged = self._merged(term)
             if merged:
                 snapshot[term] = merged

@@ -12,15 +12,27 @@ from repro.storage.bufferpool import BufferPool
 from repro.storage.engine import StorageEngine, Transaction
 from repro.storage.pagedfile import PagedFile
 from repro.storage.pages import PAGE_SIZE, SlottedPage
+from repro.storage.segments import (
+    DEFAULT_POLICY,
+    SINGLE_SEGMENT,
+    MergePolicy,
+    SegmentStack,
+    SegmentStats,
+)
 from repro.storage.wal import LogRecord, RecordType, WriteAheadLog
 
 __all__ = [
     "BPlusTree",
     "BufferPool",
+    "DEFAULT_POLICY",
     "LogRecord",
+    "MergePolicy",
     "PAGE_SIZE",
     "PagedFile",
     "RecordType",
+    "SINGLE_SEGMENT",
+    "SegmentStack",
+    "SegmentStats",
     "SlottedPage",
     "StorageEngine",
     "Transaction",

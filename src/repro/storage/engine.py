@@ -34,6 +34,12 @@ from repro.storage.wal import LogRecord, RecordType, WriteAheadLog
 
 _CHUNK_SIZE = SlottedPage.max_record_size() - 8
 
+# Free-space size classes for insert placement: bucket k holds pages with
+# roughly k * _BUCKET_GRAIN free bytes. Finding a page for a chunk means
+# probing at most _N_BUCKETS sets rather than every page in the file.
+_BUCKET_GRAIN = 256
+_N_BUCKETS = _CHUNK_SIZE // _BUCKET_GRAIN + 2
+
 _DURABILITY_MODES = ("wal", "force", "none")
 
 
@@ -76,6 +82,12 @@ class StorageEngine:
         self._index: dict[bytes, list[tuple[int, int]]] = {}
         # page_id -> last known free byte estimate, for insert placement.
         self._free: dict[int, int] = {}
+        # The free map bucketed by free-space size class, so insert
+        # placement probes a handful of sets instead of scanning every
+        # page in the file (derived from _free; rebuilt on load).
+        self._free_buckets: list[set[int]] = [
+            set() for _ in range(_N_BUCKETS)
+        ]
         self._next_txn = 1
         self._open = True
         self.last_recovery: recovery_mod.RecoveryReport | None = None
@@ -239,6 +251,7 @@ class StorageEngine:
             for key, locs in snapshot["index"].items()
         }
         self._free = {int(page): free for page, free in snapshot["free"].items()}
+        self._rebuild_free_buckets()
         self._next_txn = snapshot.get("next_txn", 1)
 
     # -- heap operations (committed state) -------------------------------
@@ -283,7 +296,7 @@ class StorageEngine:
             dirty = True
             try:
                 page.delete(slot)
-                self._free[page_id] = page.free_space
+                self._set_free(page_id, page.free_space)
             except PageError:
                 # Replay after a mid-apply crash can see slots that were
                 # already freed on disk; a stale free is harmless.
@@ -293,28 +306,53 @@ class StorageEngine:
 
     def _insert_chunk(self, chunk: bytes) -> tuple[int, int]:
         need = len(chunk)
-        # Check a bounded number of pages believed to have room; the free
-        # map is an estimate, so verify with the page itself.
-        candidates = [
-            page_id for page_id, free in self._free.items() if free >= need + 8
-        ]
-        for page_id in candidates[:8]:
+        # Probe a bounded number of pages believed to have room, drawn
+        # from the size-class buckets that could fit the chunk (smallest
+        # adequate class first, so big holes stay available for big
+        # chunks). The free map is an estimate, so verify with the page
+        # itself. Cost is O(buckets + probes), however many pages exist.
+        candidates: list[int] = []
+        for bucket in range(self._bucket(need + 8), _N_BUCKETS):
+            for page_id in self._free_buckets[bucket]:
+                candidates.append(page_id)
+                if len(candidates) >= 8:
+                    break
+            if len(candidates) >= 8:
+                break
+        for page_id in candidates:
             page = self._pool.fetch(page_id)
             try:
-                self._free[page_id] = page.free_space
+                self._set_free(page_id, page.free_space)
                 if page.fits(need):
                     slot = page.insert(chunk)
-                    self._free[page_id] = page.free_space
+                    self._set_free(page_id, page.free_space)
                     return (page_id, slot)
             finally:
                 self._pool.unpin(page_id, dirty=True)
         page_id, page = self._pool.new_page()
         try:
             slot = page.insert(chunk)
-            self._free[page_id] = page.free_space
+            self._set_free(page_id, page.free_space)
         finally:
             self._pool.unpin(page_id, dirty=True)
         return (page_id, slot)
+
+    def _set_free(self, page_id: int, free: int) -> None:
+        """Update a page's free estimate and its size-class bucket."""
+        old = self._free.get(page_id)
+        if old is not None:
+            self._free_buckets[self._bucket(old)].discard(page_id)
+        self._free[page_id] = free
+        self._free_buckets[self._bucket(free)].add(page_id)
+
+    def _rebuild_free_buckets(self) -> None:
+        self._free_buckets = [set() for _ in range(_N_BUCKETS)]
+        for page_id, free in self._free.items():
+            self._free_buckets[self._bucket(free)].add(page_id)
+
+    @staticmethod
+    def _bucket(free: int) -> int:
+        return min(free // _BUCKET_GRAIN, _N_BUCKETS - 1)
 
     # -- guards -----------------------------------------------------------
 

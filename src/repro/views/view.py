@@ -29,6 +29,7 @@ from repro.core.document import Document
 from repro.core.stats import CatchUpStats
 from repro.formula import compile_formula
 from repro.storage.btree import BPlusTree
+from repro.storage.segments import MergePolicy, SegmentStack, SegmentStats
 from repro.views.column import SortOrder, ViewColumn, collate
 
 
@@ -81,8 +82,19 @@ class View:
         kept view indexes too). On open, a saved index whose database
         state fingerprint still matches is loaded instead of rebuilding;
         a *stale* saved index is loaded and topped up from the update
-        journal when possible. Call :meth:`save_index` (or
-        :meth:`close`) to write it back.
+        journal when possible. On disk the entries live in a
+        :class:`repro.storage.SegmentStack` sidecar: each
+        :meth:`save_index` appends only the entries dirtied since the
+        last save as a new immutable segment (close cost O(delta), the
+        E15 claim), and ``merge_policy`` decides when segments fold back
+        together. Call :meth:`save_index` (or :meth:`close`) to write it
+        back; the database's :meth:`~NotesDatabase.close` also sweeps
+        registered persistent views.
+    merge_policy:
+        :class:`repro.storage.MergePolicy` for the sidecar segments
+        (default :data:`repro.storage.DEFAULT_POLICY`;
+        :data:`repro.storage.SINGLE_SEGMENT` restores rewrite-everything
+        saves as the E15 ablation).
     journal:
         Allow seq-checkpointed catch-up from the database's update
         journal. ``False`` restores the pre-journal behaviour — stale
@@ -100,6 +112,7 @@ class View:
         hierarchical: bool = False,
         persist: bool = False,
         journal: bool = True,
+        merge_policy: MergePolicy | None = None,
     ) -> None:
         if mode not in ("auto", "manual"):
             raise ViewError(f"mode must be 'auto' or 'manual', got {mode!r}")
@@ -114,8 +127,15 @@ class View:
         self.hierarchical = hierarchical
         self.persist = persist
         self.journal = journal
+        self.merge_policy = merge_policy or MergePolicy()
         self._selection = compile_formula(selection)
         self._tree: BPlusTree = BPlusTree(order=64)
+        # On-disk segment stack behind the persisted index (None until a
+        # save or load; None again after a rebuild, which rewrites it).
+        self._stack: SegmentStack | None = None
+        # Entries touched since the last save — the next save's segment.
+        self._dirty: set[str] = set()
+        self._segment_stats = SegmentStats()
         self._keys: dict[str, tuple] = {}
         self._children: dict[str, set[str]] = {}
         # Reverse of _children: child unid -> parent unid, so _remove can
@@ -126,6 +146,7 @@ class View:
         self.pending_changes = 0
         self.loaded_from_disk = False
         self.catch_up = CatchUpStats()
+        self.catch_up.segment_stats["entries"] = self._segment_stats
         # What the index currently reflects: the journal checkpoint a
         # refresh or a saved-snapshot load tops up from. Soft deletes and
         # restores don't journal, so the trash membership at index time
@@ -137,6 +158,8 @@ class View:
         self._indexed_trash: set[str] = set()
         if mode == "auto":
             db.subscribe(self._on_change)
+        if persist:
+            db.register_checkpointer(self.save_index)
         if not (persist and self._try_load_index()):
             self.rebuild()
 
@@ -167,6 +190,7 @@ class View:
         """Detach from database events; save the index when persistent."""
         if self.persist:
             self.save_index()
+            self.db.unregister_checkpointer(self.save_index)
         if self.mode == "auto":
             self.db.unsubscribe(self._on_change)
 
@@ -208,13 +232,43 @@ class View:
             components.append(Descending(value) if kind == "d" else value)
         return tuple(components)
 
-    def save_index(self) -> None:
-        """Write the current index to the storage engine.
+    def _namespace(self) -> bytes:
+        return b"viewidx:" + self.name.encode()
 
-        The sidecar records the journal checkpoint the index reflects
-        (``journal_id`` + ``indexed_seq`` + ``indexed_purge_seq`` + the
-        trash membership at index time), so a later open against a moved-
-        on database tops up from ``changed_since_seq`` instead of
+    def _make_stack(self) -> None:
+        self._stack = SegmentStack(
+            self.db.engine,
+            self._namespace(),
+            policy=self.merge_policy,
+            stats=self._segment_stats,
+        )
+
+    def _record_for(self, unid: str) -> tuple:
+        """The per-entry segment record: everything a reopen needs to put
+        the entry back (key, display values, level, parent link)."""
+        key = self._keys[unid]
+        entry = self._tree.get(key)
+        return (
+            self._encode_key(key),
+            list(entry.values),
+            entry.level,
+            self._parent_of.get(unid),
+        )
+
+    def save_index(self) -> None:
+        """Write the index changes since the last save to the engine.
+
+        The entries live in a segment stack: a save appends only the
+        dirtied entries as a new immutable segment — O(delta), however
+        big the view — then folds segments if the merge policy demands
+        it. One engine transaction covers the segment, any folds, and
+        the meta record naming them, so a crash mid-save leaves the
+        previous checkpoint fully readable.
+
+        The meta record carries the journal checkpoint the index
+        reflects (``journal_id`` + ``indexed_seq`` + ``indexed_purge_seq``
+        + the trash membership at index time), so a later open against a
+        moved-on database tops up from ``changed_since_seq`` instead of
         rebuilding.
         """
         import json
@@ -225,11 +279,31 @@ class View:
             # An auto view is continuously current: stamp the checkpoint
             # now. A manual view saves whatever it last indexed.
             self._mark_indexed()
-        entries = [
-            [self._encode_key(key), entry.unid, list(entry.values),
-             entry.level]
-            for key, entry in self._tree.items()
-        ]
+        engine = self.db.engine
+        txn = engine.begin()
+        fresh = self._stack is None
+        if fresh:
+            # A rebuild (or first save) rewrites the stack from scratch;
+            # clear whatever segments a previous layout left behind.
+            raw = engine.get(self._index_key())
+            if raw is not None:
+                old_meta = json.loads(raw.decode())
+                SegmentStack.delete_manifest(
+                    engine, txn, self._namespace(), old_meta.get("index", {})
+                )
+            self._make_stack()
+        self._stack.policy = self.merge_policy  # honour runtime swaps
+        folds: list[int] = []
+        if fresh:
+            dirty = set(self._keys)
+            removed: set[str] = set()
+        else:
+            dirty = {unid for unid in self._dirty if unid in self._keys}
+            removed = self._dirty - dirty
+        if dirty or removed:
+            records = {unid: self._record_for(unid) for unid in dirty}
+            self._stack.append(txn, records, remove=removed)
+            folds = self._stack.maintain(txn)
         snapshot = {
             "design": self._design_fingerprint(),
             "state": self._indexed_state,
@@ -237,13 +311,12 @@ class View:
             "indexed_seq": self._indexed_seq,
             "indexed_purge_seq": self._indexed_purge_seq,
             "trash": sorted(self._indexed_trash),
-            "entries": entries,
-            "children": {
-                parent: sorted(children)
-                for parent, children in self._children.items() if children
-            },
+            "index": self._stack.manifest(),
         }
-        self.db.engine.set(self._index_key(), json.dumps(snapshot).encode())
+        engine.put(txn, self._index_key(), json.dumps(snapshot).encode())
+        engine.commit(txn)
+        self._dirty.clear()
+        self.catch_up.record_merge(len(folds))
 
     def _try_load_index(self) -> bool:
         """Load a saved index; top up a stale one from the journal.
@@ -263,6 +336,8 @@ class View:
         snapshot = json.loads(raw.decode())
         if snapshot.get("design") != self._design_fingerprint():
             return False
+        if "index" not in snapshot:
+            return False  # pre-segment snapshot layout: rebuild once
         current = snapshot.get("state") == self.db.state_fingerprint()
         if not current:
             if not self.journal:
@@ -273,21 +348,21 @@ class View:
                 return False  # checkpoint from a future this journal lost
             if self.db.purges_since(snapshot["indexed_purge_seq"]) is None:
                 return False
+        self._make_stack()
+        if not self._stack.load(snapshot["index"]):
+            self._stack = None
+            return False  # manifest names a segment the engine lost
         pairs = []
-        for encoded_key, unid, values, level in snapshot["entries"]:
+        for unid, record in self._stack.live_items():
+            encoded_key, values, level, parent = record
             key = self._decode_key(encoded_key)
             pairs.append((key, _Entry(unid, tuple(values), level)))
             self._keys[unid] = key
-        self._tree.bulk_load(pairs)  # snapshot entries are in key order
-        self._children = {
-            parent: set(children)
-            for parent, children in snapshot.get("children", {}).items()
-        }
-        self._parent_of = {
-            child: parent
-            for parent, children in self._children.items()
-            for child in children
-        }
+            if parent is not None:
+                self._children.setdefault(parent, set()).add(unid)
+                self._parent_of[unid] = parent
+        pairs.sort(key=lambda pair: pair[0])  # segments are unordered
+        self._tree.bulk_load(pairs)
         if current:
             self._mark_indexed()
             self.catch_up.record_noop()
@@ -376,6 +451,10 @@ class View:
         self._keys.clear()
         self._children.clear()
         self._parent_of.clear()
+        # The on-disk stack no longer matches anything incremental; the
+        # next save rewrites it from scratch (and deletes the old keys).
+        self._stack = None
+        self._dirty.clear()
         docs = [doc for doc in self.db.all_documents() if self._selected(doc)]
         if self.hierarchical:
             docs.sort(key=self._hierarchy_depth)
@@ -415,12 +494,15 @@ class View:
         Returns ``"noop"`` (already current — ``auto`` views ride change
         notifications, and an unchanged fingerprint short-circuits),
         ``"topup"`` (journal replay of only the notes sequenced past the
-        checkpoint), or ``"rebuild"`` (the O(n log n) fallback, taken
-        only with ``journal=False``, after a journal reseed, or when the
-        purge log no longer reaches back to the checkpoint).
+        checkpoint), ``"merge"`` (a top-up on a persistent view whose
+        checkpoint save also folded sidecar segments — the amortized
+        compaction bill coming due), or ``"rebuild"`` (the O(n log n)
+        fallback, taken only with ``journal=False``, after a journal
+        reseed, or when the purge log no longer reaches back to the
+        checkpoint).
 
         ``rebuilds`` increments only on the rebuild path; top-ups count
-        in ``catch_up.topups``.
+        in ``catch_up.topups`` whether or not the save folded.
         """
         if self.mode != "manual" or (
             self.db.state_fingerprint() == self._indexed_state
@@ -429,6 +511,10 @@ class View:
             return "noop"
         if not self._catch_up_from_journal():
             self.rebuild()
+        elif self.persist:
+            # Persist the topped-up checkpoint; if the merge policy folds
+            # segments here, record_merge promotes last_path to "merge".
+            self.save_index()
         return self.catch_up.last_path
 
     def _on_change(self, kind: ChangeKind, payload, old: Document | None) -> None:
@@ -513,6 +599,7 @@ class View:
         values = tuple(column.value_for(doc, self.db) for column in self.columns)
         self._tree.insert(key, _Entry(doc.unid, values, level))
         self._keys[doc.unid] = key
+        self._dirty.add(doc.unid)
         if doc.parent_unid is not None:
             self._children.setdefault(doc.parent_unid, set()).add(doc.unid)
             self._parent_of[doc.unid] = doc.parent_unid
@@ -521,6 +608,7 @@ class View:
         key = self._keys.pop(unid, None)
         if key is None:
             return
+        self._dirty.add(unid)
         try:
             self._tree.delete(key)
         except KeyError:  # pragma: no cover - defensive

@@ -234,6 +234,148 @@ class TestFallbacks:
         assert view_state(view) == view_state(cold)
 
 
+class TestSegmentedLayoutFallbacks:
+    """The rebuild fallbacks again, but with a *multi-segment* sidecar on
+    disk: falling back must also clear every old segment key, not just
+    one snapshot record (the pre-segment tests above never had more than
+    one record to lose)."""
+
+    def _multi_segment_world(self, path, seed=31):
+        """Two save cycles → at least two segments in every sidecar."""
+        rng = random.Random(seed)
+        engine = StorageEngine(path)
+        db = NotesDatabase("seg.nsf", clock=VirtualClock(),
+                           rng=random.Random(seed * 7), engine=engine)
+        seed_docs(db, rng, 30)
+        view = make_view(db)
+        index = FullTextIndex(db, persist=True)
+        view.save_index()
+        index.save_checkpoint()
+        random_ops(db, rng, 20)
+        view.save_index()
+        index.save_checkpoint()
+        assert view.catch_up.segment_stats["entries"].segments >= 2
+        assert index.catch_up.segment_stats["docs"].segments >= 2
+        view.close()
+        index.close()
+        engine.close()
+
+    @staticmethod
+    def _assert_no_orphan_segment_keys(engine, view_name="Equiv"):
+        """Every sidecar key must be named by a committed manifest."""
+        import json
+
+        expected = set()
+        for meta_key, manifests in (
+            (b"viewidx:" + view_name.encode(),
+             {"index": b"viewidx:" + view_name.encode()}),
+            (b"ftidx:meta", {"terms": b"ftidx:terms", "docs": b"ftidx:docs"}),
+        ):
+            raw = engine.get(meta_key)
+            if raw is None:
+                continue
+            expected.add(meta_key)
+            meta = json.loads(raw.decode())
+            for field, namespace in manifests.items():
+                for seg_id in meta.get(field, {}).get("segments", ()):
+                    expected.add(namespace + b":dir:" + str(seg_id).encode())
+                    expected.add(namespace + b":blob:" + str(seg_id).encode())
+        actual = {
+            key for key in engine.keys()
+            if key.startswith(b"viewidx:") or key.startswith(b"ftidx:")
+        }
+        assert actual == expected
+
+    def test_foreign_journal_id_rebuilds_and_resets_segments(self, tmp_path):
+        path = str(tmp_path / "foreign")
+        self._multi_segment_world(path)
+
+        engine = StorageEngine(path)
+        db = NotesDatabase("seg.nsf", clock=VirtualClock(),
+                           rng=random.Random(2), engine=engine)
+        db.create({"Form": "Memo", "Subject": "post-reseed", "Amount": 7})
+        # A multi-segment sidecar stamped by another journal: seqs are
+        # not comparable, so neither consumer may top up from it.
+        db.journal_id = "fedcba9876543210"
+        warm_view = make_view(db)
+        warm_index = FullTextIndex(db, persist=True)
+        assert not warm_view.loaded_from_disk
+        assert warm_view.catch_up.last_path == "rebuild"
+        assert not warm_index.loaded_from_disk
+        assert warm_index.catch_up.last_path == "rebuild"
+        cold_view = make_view(db, journal=False, persist=False)
+        cold_index = FullTextIndex(db)
+        assert view_state(warm_view) == view_state(cold_view)
+        assert warm_index.postings_snapshot() == cold_index.postings_snapshot()
+        # Saving the rebuilt state sweeps every segment the foreign
+        # checkpoint left behind — nothing orphaned, fresh single segment.
+        warm_view.save_index()
+        warm_index.save_checkpoint()
+        self._assert_no_orphan_segment_keys(engine)
+        assert warm_view.catch_up.segment_stats["entries"].segments == 1
+        assert warm_index.catch_up.segment_stats["docs"].segments == 1
+        warm_index.close()
+        cold_index.close()
+        engine.close()
+
+    def test_purge_log_overflow_rebuilds_and_resets_segments(self, tmp_path):
+        path = str(tmp_path / "overflow")
+        self._multi_segment_world(path)
+
+        engine = StorageEngine(path)
+        db = NotesDatabase("seg.nsf", clock=VirtualClock(),
+                           rng=random.Random(3), engine=engine)
+        # Push more purges through the log than it retains, so the saved
+        # checkpoints' purge seq falls off the back of the log.
+        doomed = [
+            db.create({"Form": "Task", "Subject": "churn"}).unid
+            for _ in range(1100)
+        ]
+        for unid in doomed:
+            db.delete(unid)
+        db.clock.advance(10)
+        assert db.purge_stubs(db.clock.now) >= 1100  # plus leftover stubs
+        db.update(db.unids()[0], {"Amount": 999})
+        warm_view = make_view(db)
+        warm_index = FullTextIndex(db, persist=True)
+        assert not warm_view.loaded_from_disk
+        assert warm_view.catch_up.last_path == "rebuild"
+        assert not warm_index.loaded_from_disk
+        assert warm_index.catch_up.last_path == "rebuild"
+        cold_view = make_view(db, journal=False, persist=False)
+        cold_index = FullTextIndex(db)
+        assert view_state(warm_view) == view_state(cold_view)
+        assert warm_index.postings_snapshot() == cold_index.postings_snapshot()
+        warm_view.save_index()
+        warm_index.save_checkpoint()
+        self._assert_no_orphan_segment_keys(engine)
+        warm_index.close()
+        cold_index.close()
+        engine.close()
+
+    def test_warm_open_tops_up_over_multiple_segments(self, tmp_path):
+        """The happy path on a fragmented sidecar: a third session tops
+        up from a two-segment stack and appends a third segment."""
+        path = str(tmp_path / "fragmented")
+        self._multi_segment_world(path)
+
+        engine = StorageEngine(path)
+        db = NotesDatabase("seg.nsf", clock=VirtualClock(),
+                           rng=random.Random(4), engine=engine)
+        rng = random.Random(77)
+        random_ops(db, rng, 15)
+        warm = make_view(db)
+        assert warm.loaded_from_disk
+        assert warm.catch_up.last_path == "topup"
+        cold = make_view(db, journal=False, persist=False)
+        assert view_state(warm) == view_state(cold)
+        warm.save_index()
+        assert warm.catch_up.segment_stats["entries"].segments >= 3 or (
+            warm.catch_up.merges > 0
+        )
+        engine.close()
+
+
 class TestSeqAcknowledgedPurge:
     def _db_with_stub(self):
         db = NotesDatabase("a.nsf", clock=VirtualClock(),

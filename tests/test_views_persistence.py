@@ -7,7 +7,7 @@ import pytest
 from repro.core import NotesDatabase
 from repro.errors import ViewError
 from repro.sim import VirtualClock
-from repro.storage import StorageEngine
+from repro.storage import SINGLE_SEGMENT, MergePolicy, StorageEngine
 from repro.views import SortOrder, View, ViewColumn
 
 
@@ -22,7 +22,7 @@ def store(tmp_path):
     return open_db
 
 
-def make_view(db, persist=True, selection='SELECT Form = "Memo"'):
+def make_view(db, persist=True, selection='SELECT Form = "Memo"', **kw):
     return View(
         db, "ByAmount",
         selection=selection,
@@ -32,6 +32,7 @@ def make_view(db, persist=True, selection='SELECT Form = "Memo"'):
             ViewColumn(title="Subject", item="Subject"),
         ],
         persist=persist,
+        **kw,
     )
 
 
@@ -170,6 +171,100 @@ class TestPersistedViews:
         assert warm.loaded_from_disk
         after = [(e.unid, e.values, e.level) for e in warm.entries()]
         assert after == before
+        engine2.close()
+
+    def test_refresh_distinguishes_topup_from_topup_plus_fold(self, store):
+        """A manual persistent view reports ``"merge"`` only when the
+        checkpoint save behind its top-up also folded segments."""
+        engine, db = store()
+        for index in range(10):
+            db.create({"Form": "Memo", "Amount": index, "Subject": f"m{index}"})
+        policy = MergePolicy(max_segments=2, max_dead_ratio=1.0)
+        view = View(
+            db, "ByAmount", selection='SELECT Form = "Memo"',
+            columns=[
+                ViewColumn(title="Amount", item="Amount",
+                           sort=SortOrder.DESCENDING),
+                ViewColumn(title="Subject", item="Subject"),
+            ],
+            mode="manual", persist=True, merge_policy=policy,
+        )
+        view.save_index()  # fresh stack: one segment
+        stats = view.catch_up.segment_stats["entries"]
+        assert stats.segments == 1
+        assert view.catch_up.merges == 0
+
+        db.create({"Form": "Memo", "Amount": 50, "Subject": "second"})
+        assert view.refresh() == "topup"  # appended segment 2: no fold yet
+        assert stats.segments == 2
+        assert view.catch_up.merges == 0
+        assert view.catch_up.topups == 1
+
+        db.create({"Form": "Memo", "Amount": 60, "Subject": "third"})
+        assert view.refresh() == "merge"  # third segment broke the policy
+        assert view.catch_up.last_path == "merge"
+        assert view.catch_up.merges >= 1
+        assert view.catch_up.topups == 2  # the merge was still a top-up
+        assert stats.segments <= 2
+        assert stats.bytes_folded > 0
+
+        db.create({"Form": "Task", "Amount": 1, "Subject": "unselected"})
+        assert view.refresh() in ("topup", "merge")  # never a rebuild
+        assert view.rebuilds == 1  # only the initial cold build
+        engine.close()
+
+    def test_save_appends_only_the_delta(self, store):
+        engine, db = store()
+        docs = [
+            db.create({"Form": "Memo", "Amount": index, "Subject": f"m{index}"})
+            for index in range(20)
+        ]
+        view = make_view(db)
+        view.save_index()
+        stats = view.catch_up.segment_stats["entries"]
+        assert stats.records_appended == 20  # the fresh full rewrite
+        db.update(docs[0].unid, {"Amount": 100})
+        db.update(docs[1].unid, {"Amount": 101})
+        db.delete(docs[2].unid)
+        view.save_index()
+        # Second save wrote exactly the two dirtied entries (the delete
+        # travels as a manifest tombstone, not a record).
+        assert stats.records_appended == 22
+        assert stats.segments == 2
+        assert stats.dead_entries == 3  # two superseded + one tombstoned
+        engine.close()
+
+    def test_single_segment_ablation_folds_every_save(self, store):
+        engine, db = store()
+        for index in range(15):
+            db.create({"Form": "Memo", "Amount": index, "Subject": f"m{index}"})
+        view = make_view(db, merge_policy=SINGLE_SEGMENT)
+        view.save_index()
+        stats = view.catch_up.segment_stats["entries"]
+        assert stats.segments == 1
+        db.create({"Form": "Memo", "Amount": 99, "Subject": "delta"})
+        view.save_index()
+        # The ablation rewrote everything: append + immediate fold.
+        assert stats.segments == 1
+        assert view.catch_up.merges >= 1
+        assert stats.bytes_folded > 0
+        assert view.catch_up.last_path == "merge"
+        engine.close()
+
+    def test_database_close_sweeps_registered_views(self, store):
+        engine, db = store()
+        db.create({"Form": "Memo", "Amount": 3, "Subject": "a"})
+        view = make_view(db)
+        saved = db.save_checkpoints()
+        assert saved == 1  # the view registered itself
+        db.create({"Form": "Memo", "Amount": 9, "Subject": "b"})
+        db.close()  # saves the view sidecar, then closes the engine
+
+        engine2, db2 = store(seed=2)
+        warm = make_view(db2)
+        assert warm.loaded_from_disk
+        assert warm.catch_up.last_path == "noop"  # close() caught the delta
+        assert len(warm) == 2
         engine2.close()
 
     def test_hierarchical_view_roundtrip(self, store):
