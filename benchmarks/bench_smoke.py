@@ -154,3 +154,17 @@ def test_smoke_catchup_rides_the_delta(tmp_path):
         baseline.close()
     finally:
         engine.close()
+
+
+def test_smoke_faulty_replication_resumes_from_cursor():
+    """E16 shape: under an identical seeded fault plan the resumable
+    replicator converges at the fault-free wire cost while the
+    all-or-nothing ablation re-ships interrupted exchanges."""
+    from benchmarks.bench_e16_faults import run_cell
+
+    res = run_cell(0.3, resumable=True)
+    abl = run_cell(0.3, resumable=False)
+    assert res[6]  # converged despite drops and mid-exchange aborts
+    assert res[5] > 0  # cursors actually checkpointed mid-pass
+    assert abl[1] > res[1]  # the ablation paid for its restarts
+    assert run_cell(0.3, resumable=True) == res  # seed => same run

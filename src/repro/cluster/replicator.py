@@ -30,6 +30,7 @@ from time import perf_counter
 
 from repro.core.database import ChangeKind, DeletionStub, NotesDatabase
 from repro.core.document import Document
+from repro.errors import LinkFailure
 from repro.replication.conflicts import ConflictPolicy, detect, resolve
 from repro.replication.network import SimulatedNetwork
 
@@ -45,6 +46,9 @@ class ClusterReplicationStats:
     conflicts: int = 0
     bytes_pushed: int = 0
     catch_up_seconds: float = 0.0
+    # Pushes/drains a link fault killed; the link (re-)stalls and the
+    # next catch_up resumes from its advanced seq cursor.
+    interrupted: int = 0
     push_latency: list[float] = field(default_factory=list)
 
 
@@ -143,7 +147,22 @@ class ClusterReplicator:
                 pending = self._pending.get(link)
                 if pending is not None:
                     pending.pop(unid, None)
-            self._push_one(origin, member, doc, stub)
+            try:
+                self.network.begin_attempt(*link)
+                self._push_one(origin, member, doc, stub)
+            except LinkFailure:
+                # The push died on the wire (drop/flap/abort): stall the
+                # link exactly as if the member had been unreachable.
+                self.stats.interrupted += 1
+                self._stalled.setdefault(
+                    link,
+                    origin.update_seq - 1 if journaled else origin.update_seq,
+                )
+                if not journaled:
+                    unid = doc.unid if doc is not None else stub.unid
+                    self._pending.setdefault(link, {})[unid] = stub
+                self.stats.queued += 1
+                continue
             if link not in self._stalled:
                 self._ack(origin, member)
 
@@ -204,13 +223,18 @@ class ClusterReplicator:
     def catch_up(self) -> int:
         """Drain every stalled link that is reachable again.
 
-        Per link this is one ``changed_since_seq(cursor)`` call — a
+        Per link this is one ``journal_entries_since(cursor)`` call — a
         binary search plus a walk over the notes actually changed during
         the outage — followed by the (rare) un-journaled pending events.
         The *current* revision is pushed, so repeated edits to one note
-        during the outage cost a single transfer. Returns the number of
-        changes applied; a completed drain acknowledges the origin's
-        seq so stub purging may proceed.
+        during the outage cost a single transfer.
+
+        Drains are *resumable*: the link's seq cursor advances after
+        every pushed entry, so a drain killed mid-flight by a link fault
+        leaves the link stalled at its progress point and the next
+        ``catch_up`` replays only what is still missing — never the whole
+        outage again. Returns the number of changes applied; a completed
+        drain acknowledges the origin's seq so stub purging may proceed.
         """
         started = perf_counter()
         drained = 0
@@ -221,29 +245,37 @@ class ClusterReplicator:
             target = self._member_on(link[1])
             if source is None or target is None:
                 continue
-            docs, stubs = source.changed_since_seq(cursor)
-            for stub in stubs:
-                self._push_one(source, target, None, stub)
-                drained += 1
-            for doc in docs:
-                live = source.try_get(doc.unid)
-                if live is not None:
-                    self._push_one(source, target, live, None)
+            try:
+                self.network.begin_attempt(*link)
+                for seq, note in source.journal_entries_since(cursor):
+                    if isinstance(note, DeletionStub):
+                        self._push_one(source, target, None, note)
+                    else:
+                        self._push_one(source, target, note, None)
+                    self._stalled[link] = seq  # the drain's resume point
                     drained += 1
-            # Un-journaled events last: a soft delete during the outage
-            # must override the journal-replayed revision it shadows.
-            for unid, stub in self._pending.pop(link, {}).items():
-                if stub is not None:
-                    self._push_one(
-                        source, target, None, source.stubs.get(unid, stub)
-                    )
-                else:
-                    live = source.try_get(unid)
-                    if live is not None:
-                        self._push_one(source, target, live, None)
-                drained += 1
-            del self._stalled[link]
-            self._ack(source, target)
+                # Un-journaled events last: a soft delete during the
+                # outage must override the revision it shadows.
+                pending = self._pending.get(link, {})
+                for unid in list(pending):
+                    stub = pending[unid]
+                    if stub is not None:
+                        self._push_one(
+                            source, target, None, source.stubs.get(unid, stub)
+                        )
+                    else:
+                        live = source.try_get(unid)
+                        if live is not None:
+                            self._push_one(source, target, live, None)
+                    del pending[unid]
+                    drained += 1
+                self._pending.pop(link, None)
+                del self._stalled[link]
+                self._ack(source, target)
+            except LinkFailure:
+                # Fault mid-drain: the link stays stalled at the cursor
+                # it reached; the next catch_up resumes from there.
+                self.stats.interrupted += 1
         self.stats.drained += drained
         self.stats.replayed += drained
         self.stats.catch_up_seconds += perf_counter() - started

@@ -796,6 +796,29 @@ class NotesDatabase:
         start = bisect_right(self._journal, after_seq, key=lambda entry: entry[0])
         return self._changed_from(start)
 
+    def journal_entries_since(
+        self, after_seq: int
+    ) -> list[tuple[int, "Document | DeletionStub"]]:
+        """The live journal suffix above ``after_seq`` in seq order.
+
+        Same candidates as :meth:`changed_since_seq` but keeping each
+        note's journal seq and the journal's ordering, which is what lets
+        a consumer *checkpoint mid-stream*: a replication exchange that
+        applies entries in this order may record any prefix's last seq as
+        its cursor and resume from there after an interruption.
+        """
+        start = bisect_right(self._journal, after_seq, key=lambda entry: entry[0])
+        suffix = self._journal[start:]
+        self.last_scan_cost = len(suffix)
+        entries: list[tuple[int, Document | DeletionStub]] = []
+        for seq, unid, is_stub, _ in suffix:
+            if self._note_seq.get(unid) != seq:
+                continue  # superseded by a later write to the same note
+            note = self._stubs.get(unid) if is_stub else self._docs.get(unid)
+            if note is not None:
+                entries.append((seq, note))
+        return entries
+
     def changed_since(self, cutoff: float) -> tuple[list[Document], list[DeletionStub]]:
         """Documents/stubs changed *in this replica* at/after ``cutoff``.
 

@@ -71,6 +71,16 @@ class ReplicationError(ReproError):
     """Replication protocol failure (mismatched replica IDs, bad cursor)."""
 
 
+class LinkFailure(ReplicationError):
+    """A network link refused or dropped a transfer (transient by nature).
+
+    Raised for unreachable routes and for injected faults — connection
+    drops, link flaps, mid-exchange aborts. Retryable: the schedulers
+    catch this (and only this) to drive backoff and circuit-breaker
+    state; any other :class:`ReplicationError` still propagates as a bug.
+    """
+
+
 class AccessDenied(ReproError):
     """The caller's ACL entry does not permit the attempted operation."""
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.errors import MailError
+from repro.errors import LinkFailure, MailError
 from repro.core.database import NotesDatabase
 from repro.mail.directory import Directory
 from repro.mail.message import make_nondelivery_report, recipients_of
@@ -46,6 +46,9 @@ class MailStats:
     bounced: int = 0
     held: int = 0
     transfers: int = 0
+    transfer_failures: int = 0  # hops that died on the wire (faults)
+    retries: int = 0  # routing attempts on previously-held memos
+    dead_lettered: int = 0  # memos filed in mail.dead after max attempts
     hop_counts: list[int] = field(default_factory=list)
     delivery_latency: list[float] = field(default_factory=list)
 
@@ -60,9 +63,14 @@ class MailRouter:
     """Routes memos between servers of a :class:`SimulatedNetwork`.
 
     Store-and-forward: a memo that cannot reach its next hop right now is
-    *held* in the mailbox and retried on later routing passes; a
-    non-delivery report goes back only after ``max_attempts`` failures
-    (or immediately for unknown recipients).
+    *held* in the mailbox and retried on later routing passes. A hop that
+    fails on the wire (an injected drop/flap, a crashed next hop) backs
+    off exponentially — the held memo carries a ``$RetryAfter`` time and
+    is not re-attempted before it — while a hop with *no route at all*
+    stays cheap to re-check every pass. After ``max_attempts`` failures
+    the memo is filed in the server's ``mail.dead`` dead-letter database
+    with a delivery-failure report and a non-delivery report goes back to
+    the sender (immediately for unknown recipients).
     """
 
     def __init__(
@@ -70,13 +78,20 @@ class MailRouter:
         network: SimulatedNetwork,
         directory: Directory,
         max_attempts: int = 24,
+        retry_base: float = 60.0,
+        retry_cap: float = 3600.0,
+        retry_jitter: float = 0.25,
     ) -> None:
         self.network = network
         self.directory = directory
         self.max_attempts = max_attempts
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.retry_jitter = retry_jitter
         self.stats = MailStats()
         self._graph = nx.Graph()
         self._mailboxes: dict[str, NotesDatabase] = {}
+        self._dead_letters: dict[str, NotesDatabase] = {}
         self._mail_files: dict[tuple[str, str], NotesDatabase] = {}
         self._rng = random.Random(0x4D41494C)  # "MAIL"
 
@@ -99,6 +114,20 @@ class MailRouter:
                 server=server,
             )
             self._mailboxes[server] = box
+        return box
+
+    def dead_letter_box(self, server: str) -> NotesDatabase:
+        """The ``mail.dead`` database of ``server`` (created lazily):
+        memos the router gave up on, kept for operator inspection."""
+        box = self._dead_letters.get(server)
+        if box is None:
+            box = NotesDatabase(
+                f"mail.dead@{server}",
+                clock=self.network.clock,
+                rng=random.Random(self._rng.getrandbits(64)),
+                server=server,
+            )
+            self._dead_letters[server] = box
         return box
 
     def mail_file(self, user: str) -> NotesDatabase:
@@ -132,14 +161,24 @@ class MailRouter:
 
     def route_step(self) -> int:
         """Advance every queued message one hop; returns messages that made
-        progress (held-for-retry messages do not count)."""
+        progress (held-for-retry messages do not count).
+
+        Memos backing off after a failed transfer (``$RetryAfter`` in the
+        future) stay queued untouched until their deadline passes.
+        """
         progressed = 0
+        now = self.network.clock.now
         for server in list(self._mailboxes):
             box = self._mailboxes[server]
             for unid in box.unids():
                 memo = box.get(unid)
+                retry_after = memo.get("$RetryAfter")
+                if isinstance(retry_after, (int, float)) and now < retry_after:
+                    continue
                 items = {name: memo.get(name) for name in memo.item_names}
                 box.delete(unid, author="router")
+                if int(items.get("$RouteAttempts") or 0) > 0:
+                    self.stats.retries += 1
                 progressed += self._route_one(server, items)
         return progressed
 
@@ -167,6 +206,12 @@ class MailRouter:
                 return self.stats
         raise MailError(f"mail still circulating after {max_steps} steps")
 
+    def _backoff(self, attempts: int) -> float:
+        """Exponential retry delay with seeded jitter for attempt N."""
+        delay = min(self.retry_base * (2.0 ** max(attempts - 1, 0)),
+                    self.retry_cap)
+        return delay * (1.0 + self.retry_jitter * self._rng.random())
+
     def _route_one(self, server: str, items: dict) -> int:
         """Route one memo; returns 1 when it progressed, 0 when held."""
         progressed = 0
@@ -181,6 +226,8 @@ class MailRouter:
                 person
             )
         stuck: list[str] = []
+        backoff_needed = False
+        attempts = int(items.get("$RouteAttempts") or 0)
         for home, users in sorted(by_server.items()):
             if home == server:
                 for user in users:
@@ -189,10 +236,9 @@ class MailRouter:
                 continue
             next_hop = self._next_hop(server, home)
             if next_hop is None:
-                attempts = int(items.get("$RouteAttempts") or 0)
                 if attempts + 1 >= self.max_attempts:
-                    for user in users:
-                        self._bounce(server, items, user, f"no route to {home}")
+                    self._dead_letter(server, items, users,
+                                      f"no route to {home}")
                     progressed = 1
                 else:
                     stuck.extend(users)
@@ -204,8 +250,22 @@ class MailRouter:
             forwarded["CopyTo"] = []
             forwarded["BlindCopyTo"] = []
             forwarded["$RouteAttempts"] = 0
+            forwarded.pop("$RetryAfter", None)
             forwarded["$RouteTrace"] = list(items.get("$RouteTrace", [])) + [next_hop]
-            self.network.transfer(server, next_hop, _wire_size(forwarded))
+            try:
+                self.network.begin_attempt(server, next_hop)
+                self.network.transfer(server, next_hop, _wire_size(forwarded))
+            except LinkFailure as exc:
+                # The hop died on the wire: hold with backoff, or give
+                # up and dead-letter once the attempt budget is spent.
+                self.stats.transfer_failures += 1
+                if attempts + 1 >= self.max_attempts:
+                    self._dead_letter(server, items, users, str(exc))
+                    progressed = 1
+                else:
+                    stuck.extend(users)
+                    backoff_needed = True
+                continue
             self.stats.transfers += 1
             self.mailbox(next_hop).create(
                 forwarded, author=forwarded.get("From", "router")
@@ -216,7 +276,13 @@ class MailRouter:
             held["SendTo"] = stuck
             held["CopyTo"] = []
             held["BlindCopyTo"] = []
-            held["$RouteAttempts"] = int(items.get("$RouteAttempts") or 0) + 1
+            held["$RouteAttempts"] = attempts + 1
+            if backoff_needed:
+                held["$RetryAfter"] = (
+                    self.network.clock.now + self._backoff(attempts + 1)
+                )
+            else:
+                held.pop("$RetryAfter", None)
             self.mailbox(server).create(held, author=held.get("From", "router"))
             self.stats.held += 1
         return progressed
@@ -247,6 +313,22 @@ class MailRouter:
         self.stats.hop_counts.append(max(len(trace) - 1, 0))
         submitted = items.get("$SubmittedAt", self.network.clock.now)
         self.stats.delivery_latency.append(self.network.clock.now - submitted)
+
+    def _dead_letter(
+        self, server: str, items: dict, users: list[str], reason: str
+    ) -> None:
+        """Give up on a branch: file a Notes-style delivery-failure report
+        in ``server``'s dead-letter database and bounce each recipient."""
+        report = dict(items)
+        report["Form"] = "DeliveryFailure"
+        report["FailedRecipients"] = list(users)
+        report["FailureReason"] = reason
+        report["$FailedAt"] = self.network.clock.now
+        report["$RouteAttempts"] = int(items.get("$RouteAttempts") or 0) + 1
+        self.dead_letter_box(server).create(report, author="Mail Router")
+        self.stats.dead_lettered += 1
+        for user in users:
+            self._bounce(server, items, user, reason)
 
     def _bounce(self, server: str, items: dict, recipient: str, reason: str) -> None:
         self.stats.bounced += 1

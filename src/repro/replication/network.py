@@ -4,15 +4,21 @@ Stands in for the corporate WAN the paper's deployments ran over. The model
 is intentionally simple — per-link latency plus bytes/bandwidth — because
 the replication experiments care about *how much* is transferred and *when
 links are unavailable*, not about packets.
+
+Beyond the binary ``partitioned`` flag, a seeded
+:class:`~repro.sim.faults.FaultPlan` can be installed to inject
+probabilistic drops, self-healing flaps, mid-exchange aborts and server
+crash windows — all replayable from one seed (see ``repro.sim.faults``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReplicationError
+from repro.errors import LinkFailure, ReplicationError
 from repro.core.database import NotesDatabase
 from repro.sim.clock import VirtualClock
+from repro.sim.faults import FaultPlan
 
 
 @dataclass
@@ -72,6 +78,29 @@ class SimulatedNetwork:
         self._links: dict[tuple[str, str], _Link] = {}
         self.default_link = _Link()
         self.stats = NetworkStats()
+        self.fault_plan: FaultPlan | None = None
+
+    # -- fault injection ----------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> FaultPlan:
+        """Install (or replace) the fault plan consulted on every attempt,
+        reachability check and transfer."""
+        self.fault_plan = plan
+        return plan
+
+    def begin_attempt(self, src: str, dst: str) -> None:
+        """Open a logical exchange/hop attempt on a link.
+
+        Raises :class:`LinkFailure` when the route is down or the fault
+        plan drops/flaps the attempt; may arm a mid-exchange abort that a
+        later :meth:`transfer` on the link fires. A no-op without faults
+        beyond the reachability check, so callers invoke it
+        unconditionally at attempt start.
+        """
+        if not self.is_reachable(src, dst):
+            raise LinkFailure(f"no route from {src} to {dst}")
+        if self.fault_plan is not None:
+            self.fault_plan.begin_attempt(src, dst)
 
     # -- membership -----------------------------------------------------
 
@@ -113,6 +142,8 @@ class SimulatedNetwork:
             return True
         if not self.server(a).up or not self.server(b).up:
             return False
+        if self.fault_plan is not None and not self.fault_plan.available(a, b):
+            return False
         return not self._link(a, b).partitioned
 
     def _link(self, a: str, b: str, create: bool = False) -> _Link:
@@ -131,9 +162,16 @@ class SimulatedNetwork:
     # -- transfer ---------------------------------------------------------
 
     def transfer(self, src: str, dst: str, nbytes: int) -> float:
-        """Account a transfer and return its simulated duration in seconds."""
+        """Account a transfer and return its simulated duration in seconds.
+
+        Raises :class:`LinkFailure` when the route is down or an armed
+        mid-exchange abort fires; a failed transfer's bytes are not
+        accounted (they never arrived).
+        """
         if not self.is_reachable(src, dst):
-            raise ReplicationError(f"no route from {src} to {dst}")
+            raise LinkFailure(f"no route from {src} to {dst}")
+        if self.fault_plan is not None:
+            self.fault_plan.on_transfer(src, dst)
         link = self._link(src, dst)
         self.stats.record(src, dst, nbytes)
         return link.latency + (nbytes / link.bandwidth if link.bandwidth else 0.0)

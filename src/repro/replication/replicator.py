@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReplicationError
+from repro.errors import LinkFailure, ReplicationError
 from repro.core.database import ChangeKind, DeletionStub, NotesDatabase
 from repro.core.document import Document
 from repro.replication.conflicts import ConflictPolicy, detect, resolve
@@ -50,6 +50,18 @@ class ReplicationStats:
     lost_updates: int = 0
     bytes_transferred: int = 0
     seconds: float = 0.0
+    # Per-link seq cursors checkpointed mid-pass (resumable exchanges).
+    cursor_checkpoints: int = 0
+    # Edge-level outcomes, filled in by the scheduler: a skipped or
+    # failed edge is never indistinguishable from a no-op exchange.
+    edges_attempted: int = 0
+    edges_skipped: int = 0  # unreachable when the round reached them
+    edges_deferred: int = 0  # gated out by backoff / open breaker
+    edges_failed: int = 0  # attempt died (drop, flap, mid-exchange abort)
+    edges_retried: int = 0  # attempts made while recovering from failure
+    # Replica pairs skipped because both seq cursors already sat at the
+    # partner's update_seq — a no-op decided without opening the link.
+    noop_pairs: int = 0
     conflict_unids: list[str] = field(default_factory=list)
 
     def merge_from(self, other: "ReplicationStats") -> None:
@@ -63,6 +75,13 @@ class ReplicationStats:
         self.lost_updates += other.lost_updates
         self.bytes_transferred += other.bytes_transferred
         self.seconds += other.seconds
+        self.cursor_checkpoints += other.cursor_checkpoints
+        self.edges_attempted += other.edges_attempted
+        self.edges_skipped += other.edges_skipped
+        self.edges_deferred += other.edges_deferred
+        self.edges_failed += other.edges_failed
+        self.edges_retried += other.edges_retried
+        self.noop_pairs += other.noop_pairs
         self.conflict_unids.extend(other.conflict_unids)
 
 
@@ -97,6 +116,19 @@ class Replicator:
         history``) falls back to the timestamp cutoff. When False, every
         pass uses the pre-journal O(database) scan — the ablation baseline
         benchmark E13 measures against.
+    batch_size:
+        Journal entries applied per resumable batch. After each full
+        batch the per-link seq cursor is checkpointed on both ends, so an
+        exchange killed mid-flight (link flap, crash, injected abort)
+        resumes from the cursor — re-examining at most one batch — instead
+        of re-reading the whole suffix.
+    resumable:
+        When False, the all-or-nothing ablation benchmark E16 measures
+        against: documents are *staged* during the pass and installed
+        only if the whole exchange completes, with the cursor recorded
+        only at the end — an interrupted exchange wastes everything it
+        transferred and restarts from the previous cursor, exactly the
+        checkpoint-free behaviour resumable exchanges exist to avoid.
     """
 
     def __init__(
@@ -106,14 +138,20 @@ class Replicator:
         versioning: str = "oid",
         field_level: bool = False,
         journal: bool = True,
+        batch_size: int = 64,
+        resumable: bool = True,
     ) -> None:
         if versioning not in ("oid", "timestamp"):
             raise ReplicationError(f"unknown versioning {versioning!r}")
+        if batch_size < 1:
+            raise ReplicationError(f"bad batch_size {batch_size!r}")
         self.network = network
         self.conflict_policy = conflict_policy
         self.versioning = versioning
         self.field_level = field_level
         self.journal = journal
+        self.batch_size = batch_size
+        self.resumable = resumable
 
     # -- public passes -----------------------------------------------------
 
@@ -122,10 +160,21 @@ class Replicator:
         target: NotesDatabase,
         source: NotesDatabase,
         selective: SelectiveReplication | None = None,
+        into: ReplicationStats | None = None,
     ) -> ReplicationStats:
-        """One incremental pass: bring ``target`` up to date from ``source``."""
+        """One incremental pass: bring ``target`` up to date from ``source``.
+
+        ``into`` lets a caller keep the partial counters of a pass that a
+        :class:`~repro.errors.LinkFailure` kills mid-flight — the
+        schedulers pass their round accumulator so interrupted work is
+        still accounted.
+        """
         self._check_pair(source, target)
-        stats = ReplicationStats()
+        stats = into if into is not None else ReplicationStats()
+        if self.network is not None:
+            # May raise LinkFailure (drop / flap) and may arm a
+            # mid-exchange abort that a later transfer fires.
+            self.network.begin_attempt(source.server, target.server)
         # Capture the source's sequence BEFORE applying anything: observers
         # of the target (cluster push-back, agents) may write into the
         # source mid-pass, and those writes must be re-examined next time
@@ -136,8 +185,17 @@ class Replicator:
             if self.journal
             else None
         )
+        if seq_cutoff is None and self.journal and (
+            (source.server, "receive") not in target.replication_history
+        ):
+            # A link with no history at all (first exchange, or after a
+            # history clear) is journal-driven from seq 0, so even the
+            # initial bulk pull batches and checkpoints. Only a history
+            # written by the pre-journal scan replicator (a timestamp
+            # with no seq) still takes the timestamp fallback below.
+            seq_cutoff = 0
         if seq_cutoff is not None:
-            docs, stubs = source.changed_since_seq(seq_cutoff)
+            self._pull_journal(target, source, seq_cutoff, selective, stats)
         else:
             cutoff = (
                 target.replication_history.get((source.server, "receive"), 0.0)
@@ -147,11 +205,11 @@ class Replicator:
                 docs, stubs = source.changed_since(cutoff)
             else:
                 docs, stubs = source.changed_since_scan(cutoff)
-        stats.docs_scanned = source.last_scan_cost
-        for doc in sorted(docs, key=lambda d: (d.modified, d.unid)):
-            self._consider_document(target, source, doc, selective, stats)
-        for stub in sorted(stubs, key=lambda s: (s.deleted_at, s.unid)):
-            self._consider_stub(target, stub, stats)
+            stats.docs_scanned += source.last_scan_cost
+            for doc in sorted(docs, key=lambda d: (d.modified, d.unid)):
+                self._consider_document(target, source, doc, selective, stats)
+            for stub in sorted(stubs, key=lambda s: (s.deleted_at, s.unid)):
+                self._consider_stub(target, stub, stats)
         # The cutoff is compared against the SOURCE's local modification
         # times on the next pass, so it must be recorded in the source's
         # clock domain — replicas may have skewed clocks.
@@ -159,9 +217,75 @@ class Replicator:
         target.replication_history[(source.server, "receive")] = now
         source.replication_history[(target.server, "send")] = now
         if self.journal:
-            target.replication_seq[(source.server, "receive")] = source_seq
-            source.replication_seq[(target.server, "send")] = source_seq
+            self._record_cursor(source, target, source_seq)
         return stats
+
+    def _pull_journal(
+        self,
+        target: NotesDatabase,
+        source: NotesDatabase,
+        seq_cutoff: int,
+        selective: SelectiveReplication | None,
+        stats: ReplicationStats,
+    ) -> None:
+        """The journal fast path, applied in journal order.
+
+        Resumable mode installs as it goes and checkpoints the per-link
+        seq cursor after every full batch, so an exchange killed between
+        checkpoints re-examines at most ``batch_size`` entries on the
+        next attempt. The all-or-nothing ablation stages every install
+        and applies them only once the whole suffix transferred.
+        """
+        entries = source.journal_entries_since(seq_cutoff)
+        stats.docs_scanned += source.last_scan_cost
+        staged: list | None = [] if not self.resumable else None
+        in_batch = 0
+        for seq, note in entries:
+            if isinstance(note, DeletionStub):
+                self._consider_stub(target, note, stats, staged)
+            else:
+                self._consider_document(
+                    target, source, note, selective, stats, staged
+                )
+            in_batch += 1
+            if staged is None and in_batch >= self.batch_size:
+                self._record_cursor(source, target, seq)
+                stats.cursor_checkpoints += 1
+                in_batch = 0
+        if staged is not None:
+            for apply in staged:
+                apply(stats)
+
+    def _record_cursor(
+        self, source: NotesDatabase, target: NotesDatabase, seq: int
+    ) -> None:
+        """Advance both ends' seq cursors for this link (never backwards).
+
+        The ``"receive"`` side is the resume point of the next pull; the
+        ``"send"`` side is the stub-purge acknowledgement — both are safe
+        to record mid-pass because every journal entry at/below ``seq``
+        has been applied to (or judged already present in) the target.
+        """
+        receive = (source.server, "receive")
+        if seq > target.replication_seq.get(receive, -1):
+            target.replication_seq[receive] = seq
+        send = (target.server, "send")
+        if seq > source.replication_seq.get(send, -1):
+            source.replication_seq[send] = seq
+
+    def is_noop(self, a: NotesDatabase, b: NotesDatabase) -> bool:
+        """Whether an exchange between ``a`` and ``b`` would apply nothing.
+
+        True when each side's receive cursor already sits at the other's
+        ``update_seq`` — decidable from two dict reads, without opening
+        the link or walking any journal. The scheduler uses this to skip
+        quiet edges entirely (they are not even exposed to link faults).
+        """
+        return (
+            self.journal
+            and a.replication_seq.get((b.server, "receive")) == b.update_seq
+            and b.replication_seq.get((a.server, "receive")) == a.update_seq
+        )
 
     def replicate(
         self,
@@ -169,14 +293,16 @@ class Replicator:
         b: NotesDatabase,
         selective_a: SelectiveReplication | None = None,
         selective_b: SelectiveReplication | None = None,
+        into: ReplicationStats | None = None,
     ) -> ReplicationStats:
         """A full exchange: pull into ``a``, then pull into ``b``.
 
         ``selective_a`` filters what *a receives*; ``selective_b`` what *b*
         receives.
         """
-        stats = self.pull(a, b, selective=selective_a)
-        stats.merge_from(self.pull(b, a, selective=selective_b))
+        stats = into if into is not None else ReplicationStats()
+        self.pull(a, b, selective=selective_a, into=stats)
+        self.pull(b, a, selective=selective_b, into=stats)
         return stats
 
     def full_copy(
@@ -207,7 +333,16 @@ class Replicator:
         doc: Document,
         selective: SelectiveReplication | None,
         stats: ReplicationStats,
+        sink: list | None = None,
     ) -> None:
+        """Examine one candidate; install, skip, or resolve a conflict.
+
+        With ``sink`` (the all-or-nothing ablation) the wire transfer is
+        still accounted now, but the target-mutating step is appended to
+        ``sink`` as a deferred action instead of applied — each pass
+        touches any UNID at most once, so decisions made against the
+        pre-exchange target state stay valid at apply time.
+        """
         stats.docs_examined += 1
         if selective is not None:
             if not selective.accepts(doc, db=source):
@@ -223,7 +358,7 @@ class Replicator:
         local = target.try_get(doc.unid)
         if local is None:
             self._transfer(source, target, doc, stats)
-            self._install(target, doc, stats)
+            self._install(target, doc, stats, sink)
             return
         relation = self._relation(local, doc)
         if relation == "same" or relation == "local_newer":
@@ -231,20 +366,30 @@ class Replicator:
             return
         if relation == "incoming_newer":
             if self.field_level:
-                self._install_field_delta(source, target, local, doc, stats)
+                self._install_field_delta(
+                    source, target, local, doc, stats, sink
+                )
             else:
                 self._transfer(source, target, doc, stats)
-                self._install(target, doc, stats)
+                self._install(target, doc, stats, sink)
             return
         self._transfer(source, target, doc, stats)
-        outcome = resolve(target, local, doc.copy(), self.conflict_policy)
-        stats.conflicts += 1
-        if outcome.merged:
-            stats.merges += 1
-        if outcome.lost_update:
-            stats.lost_updates += 1
-        if outcome.conflict_doc_unid is not None:
-            stats.conflict_unids.append(outcome.conflict_doc_unid)
+        incoming = doc.copy()
+
+        def apply(stats_: ReplicationStats) -> None:
+            outcome = resolve(target, local, incoming, self.conflict_policy)
+            stats_.conflicts += 1
+            if outcome.merged:
+                stats_.merges += 1
+            if outcome.lost_update:
+                stats_.lost_updates += 1
+            if outcome.conflict_doc_unid is not None:
+                stats_.conflict_unids.append(outcome.conflict_doc_unid)
+
+        if sink is None:
+            apply(stats)
+        else:
+            sink.append(apply)
 
     def _relation(self, local: Document, incoming: Document) -> str:
         if self.versioning == "oid":
@@ -258,10 +403,22 @@ class Replicator:
         return "same" if local.oid == incoming.oid else "incoming_newer"
 
     def _install(
-        self, target: NotesDatabase, doc: Document, stats: ReplicationStats
+        self,
+        target: NotesDatabase,
+        doc: Document,
+        stats: ReplicationStats,
+        sink: list | None = None,
     ) -> None:
-        target.raw_put(doc.copy(), ChangeKind.REPLACE)
-        stats.docs_transferred += 1
+        copy = doc.copy()
+
+        def apply(stats_: ReplicationStats) -> None:
+            target.raw_put(copy, ChangeKind.REPLACE)
+            stats_.docs_transferred += 1
+
+        if sink is None:
+            apply(stats)
+        else:
+            sink.append(apply)
 
     _ENVELOPE_WIRE_SIZE = 160  # unid + oid + revisions + author trail
 
@@ -272,6 +429,7 @@ class Replicator:
         local: Document,
         incoming: Document,
         stats: ReplicationStats,
+        sink: list | None = None,
     ) -> None:
         """Ship only the items changed since the target's revision.
 
@@ -327,13 +485,24 @@ class Replicator:
         rebuilt.revisions = [tuple(s) for s in incoming.revisions]
         rebuilt.updated_by = list(incoming.updated_by)
         self._account(target, delta_bytes, stats, src=source.server)
-        target.raw_put(rebuilt, ChangeKind.REPLACE)
-        stats.docs_transferred += 1
+
+        def apply(stats_: ReplicationStats) -> None:
+            target.raw_put(rebuilt, ChangeKind.REPLACE)
+            stats_.docs_transferred += 1
+
+        if sink is None:
+            apply(stats)
+        else:
+            sink.append(apply)
 
     # -- stub path ---------------------------------------------------------
 
     def _consider_stub(
-        self, target: NotesDatabase, stub: DeletionStub, stats: ReplicationStats
+        self,
+        target: NotesDatabase,
+        stub: DeletionStub,
+        stats: ReplicationStats,
+        sink: list | None = None,
     ) -> None:
         local = target.try_get(stub.unid)
         if local is not None and not self._stub_beats_doc(stub, local):
@@ -342,8 +511,15 @@ class Replicator:
         if existing is not None and tuple(existing.seq_time) >= tuple(stub.seq_time):
             return
         self._account(target, _STUB_WIRE_SIZE, stats)
-        target.raw_delete(stub)
-        stats.stubs_transferred += 1
+
+        def apply(stats_: ReplicationStats) -> None:
+            target.raw_delete(stub)
+            stats_.stubs_transferred += 1
+
+        if sink is None:
+            apply(stats)
+        else:
+            sink.append(apply)
 
     @staticmethod
     def _stub_beats_doc(stub: DeletionStub, doc: Document) -> bool:
@@ -383,6 +559,6 @@ class Replicator:
             raise ReplicationError("cannot replicate a database with itself")
         if self.network is not None:
             if not self.network.is_reachable(source.server, target.server):
-                raise ReplicationError(
+                raise LinkFailure(
                     f"{source.server} unreachable from {target.server}"
                 )

@@ -8,6 +8,12 @@ fully deterministic and independent of wall-clock speed.
 
 from repro.sim.clock import VirtualClock
 from repro.sim.events import EventScheduler, RepeatingEvent, ScheduledEvent
+from repro.sim.faults import (
+    FaultEvent,
+    FaultPlan,
+    LinkFaultProfile,
+    derive_rng,
+)
 from repro.sim.workload import (
     DiscussionWorkload,
     UpdateWorkload,
@@ -18,8 +24,12 @@ from repro.sim.workload import (
 __all__ = [
     "VirtualClock",
     "EventScheduler",
+    "FaultEvent",
+    "FaultPlan",
+    "LinkFaultProfile",
     "RepeatingEvent",
     "ScheduledEvent",
+    "derive_rng",
     "DiscussionWorkload",
     "UpdateWorkload",
     "WorkloadStats",

@@ -1,0 +1,233 @@
+"""Deterministic fault injection for the simulated network.
+
+The paper's deployments replicated over links that were *expected* to
+fail — dial-up connections, WAN partitions, servers down for hours — so
+the interesting replication behaviour is what happens around failure,
+not in its absence. A :class:`FaultPlan` drives four fault axes against
+a :class:`~repro.replication.network.SimulatedNetwork`:
+
+* **drops** — a replication/mail attempt on a link fails outright at
+  connect time (the dial that never completes);
+* **flaps** — an attempt takes the link down for a drawn duration, after
+  which it heals by itself (no operator action);
+* **mid-exchange aborts** — the attempt starts, transfers N notes, then
+  the link dies under it (the fault resumable exchanges exist for);
+* **server crashes** — scheduled down/up windows per server, checked
+  against the shared virtual clock.
+
+Every decision is drawn from an RNG derived from ``(seed, subject)`` via
+SHA-256 — never from Python's salted ``hash`` and never from the global
+``random`` module — so one seed replays the exact fault schedule, and a
+failing chaos test prints a seed that reproduces it. Injected faults are
+appended to :attr:`FaultPlan.trace`, which the determinism tests compare
+run against run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.errors import LinkFailure, SimulationError
+from repro.sim.clock import VirtualClock
+
+
+def derive_rng(seed: int, *parts: str) -> random.Random:
+    """A ``random.Random`` seeded from ``seed`` and a stable subject key.
+
+    SHA-256 based so the derivation is identical across processes and
+    ``PYTHONHASHSEED`` values (tuple hashing is salted; this is not).
+    """
+    digest = hashlib.sha256(":".join([str(seed), *parts]).encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class LinkFaultProfile:
+    """Per-link fault rates; probabilities apply per *attempt*.
+
+    ``drop_probability``
+        The attempt fails at connect time, before any transfer.
+    ``flap_probability`` / ``flap_duration``
+        The attempt fails *and* takes the link down for a duration drawn
+        uniformly from ``flap_duration`` seconds; the link self-heals
+        when the virtual clock passes the window.
+    ``abort_probability`` / ``abort_after``
+        The attempt is armed to die mid-exchange: after a number of
+        completed transfers drawn uniformly from ``abort_after``, the
+        next transfer on the link raises :class:`LinkFailure`.
+    """
+
+    drop_probability: float = 0.0
+    flap_probability: float = 0.0
+    flap_duration: tuple[float, float] = (2.0, 10.0)
+    abort_probability: float = 0.0
+    abort_after: tuple[int, int] = (1, 6)
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "flap_probability",
+                     "abort_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise SimulationError(f"{name}={p!r} is not a probability")
+        if self.abort_after[0] < 1:
+            raise SimulationError("abort_after must allow >= 1 transfer")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the replayable trace."""
+
+    when: float
+    kind: str  # "drop" | "flap" | "abort-armed" | "abort" | "crash" | "restart"
+    subject: str  # "a<->b" for links, the server name for crashes
+    detail: float = 0.0  # flap duration / abort budget; 0 otherwise
+
+
+def _link_key(a: str, b: str) -> str:
+    return f"{min(a, b)}<->{max(a, b)}"
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of network faults.
+
+    Install on a network with
+    :meth:`~repro.replication.network.SimulatedNetwork.install_faults`;
+    the network then consults the plan from ``is_reachable`` (flaps,
+    crash windows), ``begin_attempt`` (drops, flap onset, abort arming)
+    and ``transfer`` (armed aborts firing). ``deactivate()`` turns the
+    plan off in place — the heal step of chaos tests — while keeping the
+    trace.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        clock: VirtualClock,
+        default: LinkFaultProfile | None = None,
+    ) -> None:
+        self.seed = seed
+        self.clock = clock
+        self.default = default or LinkFaultProfile()
+        self.active = True
+        self.trace: list[FaultEvent] = []
+        self._profiles: dict[str, LinkFaultProfile] = {}
+        self._rngs: dict[str, random.Random] = {}
+        self._flap_until: dict[str, float] = {}
+        # link key -> completed transfers remaining before the armed abort
+        self._abort_budget: dict[str, int] = {}
+        self._crash_windows: dict[str, list[tuple[float, float]]] = {}
+
+    # -- configuration ------------------------------------------------------
+
+    def set_link(self, a: str, b: str, **overrides) -> LinkFaultProfile:
+        """Override the fault profile of one (symmetric) link."""
+        profile = replace(self.default, **overrides)
+        self._profiles[_link_key(a, b)] = profile
+        return profile
+
+    def crash(self, server: str, at: float, duration: float) -> None:
+        """Schedule ``server`` down for ``[at, at + duration)``."""
+        if duration <= 0:
+            raise SimulationError(f"non-positive crash duration {duration!r}")
+        self._crash_windows.setdefault(server, []).append((at, at + duration))
+        self.trace.append(FaultEvent(at, "crash", server, duration))
+        self.trace.append(FaultEvent(at + duration, "restart", server))
+
+    def schedule_crashes(
+        self,
+        servers: list[str],
+        horizon: float,
+        mean_interval: float,
+        outage: tuple[float, float],
+    ) -> int:
+        """Draw a crash/restart schedule per server out to ``horizon``.
+
+        Exponential inter-crash gaps (mean ``mean_interval``) with outage
+        durations uniform in ``outage`` — all from per-server derived
+        RNGs, so the schedule is part of the replayable plan. Returns the
+        number of crashes scheduled.
+        """
+        scheduled = 0
+        for server in servers:
+            rng = derive_rng(self.seed, "crash", server)
+            at = rng.expovariate(1.0 / mean_interval)
+            while at < horizon:
+                duration = rng.uniform(*outage)
+                self.crash(server, at, duration)
+                scheduled += 1
+                at = at + duration + rng.expovariate(1.0 / mean_interval)
+        return scheduled
+
+    def deactivate(self) -> None:
+        """Stop injecting (the heal step); pending flap/crash windows
+        still run their course on the clock."""
+        self.active = False
+        self._abort_budget.clear()
+
+    # -- availability (consulted by is_reachable) ---------------------------
+
+    def server_up(self, server: str) -> bool:
+        now = self.clock.now
+        return not any(
+            down <= now < up
+            for down, up in self._crash_windows.get(server, ())
+        )
+
+    def link_up(self, a: str, b: str) -> bool:
+        return self.clock.now >= self._flap_until.get(_link_key(a, b), 0.0)
+
+    def available(self, a: str, b: str) -> bool:
+        return self.link_up(a, b) and self.server_up(a) and self.server_up(b)
+
+    # -- attempt lifecycle --------------------------------------------------
+
+    def begin_attempt(self, a: str, b: str) -> None:
+        """Draw this attempt's fate; raises :class:`LinkFailure` when it
+        is dropped or flapped, arms a mid-exchange abort otherwise."""
+        if not self.active:
+            return
+        key = _link_key(a, b)
+        self._abort_budget.pop(key, None)  # stale budget from a past attempt
+        profile = self._profiles.get(key, self.default)
+        rng = self._rng(key)
+        if rng.random() < profile.drop_probability:
+            self.trace.append(FaultEvent(self.clock.now, "drop", key))
+            raise LinkFailure(f"connection dropped on {key}")
+        if rng.random() < profile.flap_probability:
+            duration = rng.uniform(*profile.flap_duration)
+            self._flap_until[key] = self.clock.now + duration
+            self.trace.append(
+                FaultEvent(self.clock.now, "flap", key, duration)
+            )
+            raise LinkFailure(f"link {key} flapped for {duration:.2f}s")
+        if rng.random() < profile.abort_probability:
+            budget = rng.randint(*profile.abort_after)
+            self._abort_budget[key] = budget
+            self.trace.append(
+                FaultEvent(self.clock.now, "abort-armed", key, budget)
+            )
+
+    def on_transfer(self, src: str, dst: str) -> None:
+        """Called by the network per transfer; fires an armed abort."""
+        if not self.active:
+            return
+        key = _link_key(src, dst)
+        budget = self._abort_budget.get(key)
+        if budget is None:
+            return
+        if budget <= 0:
+            del self._abort_budget[key]
+            self.trace.append(FaultEvent(self.clock.now, "abort", key))
+            raise LinkFailure(f"exchange aborted mid-flight on {key}")
+        self._abort_budget[key] = budget - 1
+
+    # -- internals ----------------------------------------------------------
+
+    def _rng(self, key: str) -> random.Random:
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = derive_rng(self.seed, "link", key)
+            self._rngs[key] = rng
+        return rng
